@@ -1,0 +1,549 @@
+// Benchmarks: one per paper artifact (see DESIGN.md §4 for the experiment
+// index). Each benchmark exercises the code path that regenerates the
+// corresponding table or figure and reports the headline quantity (usually
+// synchronization rounds) as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a quick reproduction pass. The full sweeps with statistics
+// live in cmd/wexp (see EXPERIMENTS.md).
+package wsync
+
+import (
+	"testing"
+
+	"wsync/internal/adversary"
+	"wsync/internal/baseline"
+	"wsync/internal/harness"
+	"wsync/internal/lowerbound"
+	"wsync/internal/multihop"
+	"wsync/internal/props"
+	"wsync/internal/replog"
+	"wsync/internal/rng"
+	"wsync/internal/samaritan"
+	"wsync/internal/sim"
+	"wsync/internal/trapdoor"
+	"wsync/internal/unslotted"
+)
+
+// reportRounds attaches the measured synchronization time to the bench.
+func reportRounds(b *testing.B, total uint64, n int) {
+	b.Helper()
+	if n > 0 {
+		b.ReportMetric(float64(total)/float64(n), "rounds/run")
+	}
+}
+
+// BenchmarkF1TrapdoorSchedule regenerates the Figure 1 epoch table.
+func BenchmarkF1TrapdoorSchedule(b *testing.B) {
+	p := trapdoor.Params{N: 64, F: 8, T: 2}
+	for i := 0; i < b.N; i++ {
+		rows := p.Schedule()
+		if len(rows) != p.LgN() {
+			b.Fatal("bad schedule")
+		}
+	}
+}
+
+// BenchmarkF2SamaritanSchedule regenerates the Figure 2 structure table.
+func BenchmarkF2SamaritanSchedule(b *testing.B) {
+	p := samaritan.Params{N: 16, F: 8, T: 2}
+	for i := 0; i < b.N; i++ {
+		rows := p.Schedule()
+		if len(rows) != p.LgF()*p.EpochsPerSuper() {
+			b.Fatal("bad schedule")
+		}
+	}
+}
+
+// BenchmarkL2BallsInBins runs the Lemma 2 process.
+func BenchmarkL2BallsInBins(b *testing.B) {
+	probs := lowerbound.Lemma2Distribution(3, 0.5, 1)
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		lowerbound.NoSingleton(8, probs, r)
+	}
+}
+
+// BenchmarkT1RegularLowerBound measures time-to-first-clear-broadcast for
+// the Theorem 1 setting.
+func BenchmarkT1RegularLowerBound(b *testing.B) {
+	const n, f, t = 256, 8, 2
+	reg := lowerbound.NewTrapdoorRegular(trapdoor.Params{N: n, F: f, T: t})
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		res, err := lowerbound.FirstClear(reg, n, f, t, 1<<21, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Rounds
+	}
+	reportRounds(b, total, b.N)
+}
+
+// BenchmarkT4TwoNodeGame plays the Theorem 4 rendezvous game against the
+// greedy adversary.
+func BenchmarkT4TwoNodeGame(b *testing.B) {
+	reg := lowerbound.UniformRegular{M: 4, P: 0.5}
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		res := lowerbound.TwoNodeGame(reg, reg, 8, 2, 0, 1<<20, uint64(i))
+		total += res.Rounds
+	}
+	reportRounds(b, total, b.N)
+}
+
+// trapdoorBench runs one Trapdoor simulation.
+func trapdoorBench(b *testing.B, p trapdoor.Params, n int, adv func(seed uint64) sim.Adversary) {
+	b.Helper()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Schedule:  sim.Simultaneous{Count: n},
+			Adversary: adv(uint64(i)),
+			MaxRounds: 1 << 22,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllSynced {
+			b.Fatal("did not synchronize")
+		}
+		total += res.MaxSyncLocal
+	}
+	reportRounds(b, total, b.N)
+}
+
+// BenchmarkT10TrapdoorVsN sweeps the participant bound (Theorem 10,
+// log²N shape).
+func BenchmarkT10TrapdoorVsN(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		n := n
+		b.Run(benchName("N", n), func(b *testing.B) {
+			trapdoorBench(b, trapdoor.Params{N: n, F: 8, T: 2}, 8,
+				func(uint64) sim.Adversary { return adversary.NewPrefix(8, 2) })
+		})
+	}
+}
+
+// BenchmarkT10TrapdoorVsT sweeps the disruption budget (Theorem 10,
+// F/(F−t) blow-up).
+func BenchmarkT10TrapdoorVsT(b *testing.B) {
+	for _, t := range []int{1, 3, 5, 7} {
+		t := t
+		b.Run(benchName("t", t), func(b *testing.B) {
+			trapdoorBench(b, trapdoor.Params{N: 64, F: 8, T: t}, 8,
+				func(uint64) sim.Adversary { return adversary.NewPrefix(8, t) })
+		})
+	}
+}
+
+// BenchmarkT10Agreement runs the leader-uniqueness check (Theorem 10,
+// agreement w.h.p.).
+func BenchmarkT10Agreement(b *testing.B) {
+	p := trapdoor.Params{N: 64, F: 8, T: 2}
+	bad := 0
+	for i := 0; i < b.N; i++ {
+		check := props.NewChecker(8)
+		cfg := &sim.Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Schedule:  sim.Simultaneous{Count: 8},
+			Adversary: adversary.NewPrefix(8, 2),
+			MaxRounds: 1 << 21,
+			Observers: []sim.Observer{check},
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Leaders != 1 || !check.OK() {
+			bad++
+		}
+	}
+	b.ReportMetric(float64(bad)/float64(b.N), "failures/run")
+}
+
+// BenchmarkL9BroadcastWeight probes the broadcast weight W(r) (Lemma 9).
+func BenchmarkL9BroadcastWeight(b *testing.B) {
+	p := trapdoor.Params{N: 64, F: 8, T: 2}
+	maxW := 0.0
+	for i := 0; i < b.N; i++ {
+		w := &harness.WeightObserver{}
+		cfg := &sim.Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Schedule:     sim.Simultaneous{Count: 64},
+			Adversary:    adversary.NewPrefix(8, 2),
+			MaxRounds:    1 << 21,
+			Observers:    []sim.Observer{w},
+			ProbeWeights: true,
+		}
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if w.Max > maxW {
+			maxW = w.Max
+		}
+	}
+	b.ReportMetric(maxW, "maxW")
+	b.ReportMetric(6*float64(p.FPrime()), "bound6F'")
+}
+
+// samaritanBench runs one Good Samaritan simulation.
+func samaritanBench(b *testing.B, p samaritan.Params, n int, sched sim.Schedule,
+	adv func(seed uint64) sim.Adversary) {
+	b.Helper()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return samaritan.MustNew(p, r)
+			},
+			Schedule:  sched,
+			Adversary: adv(uint64(i)),
+			MaxRounds: 1 << 23,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllSynced {
+			b.Fatal("did not synchronize")
+		}
+		total += res.MaxSyncLocal
+	}
+	reportRounds(b, total, b.N)
+}
+
+// BenchmarkT18SamaritanVsTprime sweeps the actual disruption t' in good
+// executions (Theorem 18, adaptive bound).
+func BenchmarkT18SamaritanVsTprime(b *testing.B) {
+	p := samaritan.Params{N: 16, F: 16, T: 8}
+	for _, tp := range []int{1, 2, 4} {
+		tp := tp
+		b.Run(benchName("tprime", tp), func(b *testing.B) {
+			samaritanBench(b, p, 4, sim.Simultaneous{Count: 4},
+				func(uint64) sim.Adversary { return adversary.NewLowPrefix(16, tp) })
+		})
+	}
+}
+
+// BenchmarkT18SamaritanFallback forces the fallback path (Theorem 18,
+// general bound).
+func BenchmarkT18SamaritanFallback(b *testing.B) {
+	p := samaritan.Params{N: 16, F: 4, T: 2}
+	samaritanBench(b, p, 4, sim.Staggered{Count: 4, Gap: p.EpochLen(1)},
+		func(seed uint64) sim.Adversary { return adversary.NewRandom(4, 2, seed+99) })
+}
+
+// BenchmarkX1Crossover runs both protocols in the calm-band setting where
+// the Good Samaritan wins.
+func BenchmarkX1Crossover(b *testing.B) {
+	b.Run("trapdoor", func(b *testing.B) {
+		trapdoorBench(b, trapdoor.Params{N: 16, F: 64, T: 32}, 2,
+			func(uint64) sim.Adversary { return adversary.NewLowPrefix(64, 1) })
+	})
+	b.Run("samaritan", func(b *testing.B) {
+		samaritanBench(b, samaritan.Params{N: 16, F: 64, T: 32}, 2,
+			sim.Simultaneous{Count: 2},
+			func(uint64) sim.Adversary { return adversary.NewLowPrefix(64, 1) })
+	})
+}
+
+// BenchmarkX2Baselines compares against the baselines under the X2
+// environment.
+func BenchmarkX2Baselines(b *testing.B) {
+	mk := map[string]func(r *rng.Rand) sim.Agent{
+		"trapdoor":   func(r *rng.Rand) sim.Agent { return trapdoor.MustNew(trapdoor.Params{N: 64, F: 8, T: 2}, r) },
+		"wakeup":     func(r *rng.Rand) sim.Agent { return baseline.NewWakeup(64, 8, r) },
+		"roundrobin": func(r *rng.Rand) sim.Agent { return baseline.NewRoundRobin(64, 8, r) },
+	}
+	for name, factory := range mk {
+		factory := factory
+		b.Run(name, func(b *testing.B) {
+			var total uint64
+			for i := 0; i < b.N; i++ {
+				cfg := &sim.Config{
+					F:    8,
+					T:    2,
+					Seed: uint64(i),
+					NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+						return factory(r)
+					},
+					Schedule:  sim.Simultaneous{Count: 8},
+					Adversary: adversary.NewPrefix(8, 2),
+					MaxRounds: 1 << 20,
+				}
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.Stats.Rounds
+			}
+			reportRounds(b, total, b.N)
+		})
+	}
+}
+
+// BenchmarkX3CrashRecovery exercises the fault-tolerant Trapdoor variant
+// with a crashing leader.
+func BenchmarkX3CrashRecovery(b *testing.B) {
+	p := trapdoor.Params{N: 16, F: 8, T: 2, FaultTolerant: true, CommitThreshold: 2}
+	crashAt := 3 * p.TotalRounds()
+	maxRounds := crashAt + 40*p.EffectiveLeaderTimeout() + 4*p.TotalRounds()
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		var survivors []*trapdoor.Node
+		cfg := &sim.Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				n := trapdoor.MustNew(p, r)
+				if id == 0 {
+					return &adversary.CrashAgent{Inner: n, CrashAt: crashAt}
+				}
+				survivors = append(survivors, n)
+				return n
+			},
+			Schedule:       sim.Staggered{Count: 4, Gap: 2},
+			Adversary:      adversary.NewPrefix(8, 2),
+			MaxRounds:      maxRounds,
+			RunToMaxRounds: true,
+		}
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range survivors {
+			if n.IsLeader() {
+				recovered++
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(recovered)/float64(b.N), "recovered/run")
+}
+
+// BenchmarkX4Ablations runs the no-knockout ablation (agreement collapses).
+func BenchmarkX4Ablations(b *testing.B) {
+	p := trapdoor.Params{N: 64, F: 8, T: 2, AblationNoKnockout: true}
+	leaders := 0
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Schedule:  sim.Simultaneous{Count: 8},
+			Adversary: adversary.NewPrefix(8, 2),
+			MaxRounds: 1 << 20,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaders += res.Leaders
+	}
+	b.ReportMetric(float64(leaders)/float64(b.N), "leaders/run")
+}
+
+// BenchmarkX5Unslotted runs the phase-shifted transformation (Section 8).
+func BenchmarkX5Unslotted(b *testing.B) {
+	p := trapdoor.Params{N: 16, F: 6, T: 2}
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		res, err := unslotted.Run(&unslotted.Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: uint64(i),
+			N:    4,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Phase:     unslotted.RandomPhases(4, uint64(i)+9),
+			Adversary: adversary.NewPrefix(p.F, p.T),
+			MaxRounds: 1 << 21,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllSynced {
+			b.Fatal("did not synchronize")
+		}
+		total += res.Rounds
+	}
+	reportRounds(b, total, b.N)
+}
+
+// BenchmarkX6ReplicatedLog replicates a command sequence over synchronized
+// rounds (Section 8).
+func BenchmarkX6ReplicatedLog(b *testing.B) {
+	const members, f = 4, 8
+	commands := []uint64{1, 2, 3, 4, 5}
+	p := trapdoor.Params{N: 16, F: f, T: 2}
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		nodes := make([]*replog.Node, members)
+		cfg := &sim.Config{
+			F:    f,
+			T:    2,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				n, err := replog.New(replog.Config{
+					Members: members, F: f, Commands: commands, Settle: 200,
+				}, trapdoor.MustNew(p, r), r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes[id] = n
+				return n
+			},
+			Schedule:       sim.Simultaneous{Count: members},
+			Adversary:      adversary.NewRandom(f, 2, uint64(i)),
+			MaxRounds:      200000,
+			RunToMaxRounds: true,
+			StopWhen: func(h *sim.History) bool {
+				for _, n := range nodes {
+					if n == nil || n.CommitIndex() < len(commands) {
+						return false
+					}
+				}
+				return true
+			},
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Stats.Rounds
+	}
+	reportRounds(b, total, b.N)
+}
+
+// BenchmarkX7Multihop runs relay synchronization on a line network
+// (Section 8).
+func BenchmarkX7Multihop(b *testing.B) {
+	p := trapdoor.Params{N: 8, F: 6, T: 2}
+	topo := multihop.Line(8)
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		res, err := multihop.Run(&multihop.Config{
+			F: p.F, T: p.T,
+			Seed:     uint64(i),
+			Topology: topo,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return multihop.MustNewRelay(p, r)
+			},
+			Adversary: adversary.NewRandom(p.F, p.T, uint64(i)+3),
+			MaxRounds: 4_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllSynced {
+			b.Fatal("did not synchronize")
+		}
+		total += res.Rounds
+	}
+	reportRounds(b, total, b.N)
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed in node-rounds
+// per second with a 128-node population.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const n = 128
+	var rounds uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			F:    8,
+			T:    2,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return baseline.NewWakeup(256, 8, r)
+			},
+			Schedule:       sim.Simultaneous{Count: n},
+			Adversary:      adversary.NewRandom(8, 2, uint64(i)),
+			MaxRounds:      2000,
+			RunToMaxRounds: true,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += res.Stats.Rounds
+	}
+	b.StopTimer()
+	nodeRounds := float64(rounds) * n
+	b.ReportMetric(nodeRounds/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+// BenchmarkEngineConcurrent measures the goroutine-per-agent engine on the
+// same workload.
+func BenchmarkEngineConcurrent(b *testing.B) {
+	const n = 128
+	var rounds uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := &sim.Config{
+			F:    8,
+			T:    2,
+			Seed: uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return baseline.NewWakeup(256, 8, r)
+			},
+			Schedule:       sim.Simultaneous{Count: n},
+			Adversary:      adversary.NewRandom(8, 2, uint64(i)),
+			MaxRounds:      2000,
+			RunToMaxRounds: true,
+			Workers:        8,
+		}
+		res, err := sim.RunConcurrent(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += res.Stats.Rounds
+	}
+	b.StopTimer()
+	nodeRounds := float64(rounds) * n
+	b.ReportMetric(nodeRounds/b.Elapsed().Seconds(), "node-rounds/s")
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

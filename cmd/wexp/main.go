@@ -1,0 +1,121 @@
+// Command wexp regenerates the paper's experiment tables (every figure and
+// theorem; see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	wexp                         # run all experiments, text tables to stdout
+//	wexp -run T10a,T10b          # run selected experiments
+//	wexp -quick                  # smallest grids (seconds, for smoke tests)
+//	wexp -trials 50 -seed 7      # more repetitions / different seeds
+//	wexp -format markdown        # markdown tables (EXPERIMENTS.md bodies)
+//	wexp -format csv -out dir/   # one CSV file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wsync/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout *os.File) int {
+	fs := flag.NewFlagSet("wexp", flag.ContinueOnError)
+	var (
+		runIDs  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		trials  = fs.Int("trials", 0, "trials per sweep point (0 = default)")
+		seed    = fs.Uint64("seed", 0, "seed offset for all experiments")
+		quick   = fs.Bool("quick", false, "smallest grids (smoke test)")
+		format  = fs.String("format", "text", "output format: text, markdown, csv")
+		outDir  = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
+		listAll = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listAll {
+		for _, e := range harness.All() {
+			fmt.Fprintf(stdout, "%-5s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+
+	var selected []harness.Experiment
+	if *runIDs == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wexp: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "wexp: %v\n", err)
+			return 1
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wexp: %s: %v\n", e.ID, err)
+			return 1
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+
+		var out *os.File
+		if *outDir == "" {
+			out = stdout
+		} else {
+			ext := map[string]string{"text": "txt", "markdown": "md", "csv": "csv"}[*format]
+			if ext == "" {
+				ext = "txt"
+			}
+			f, err := os.Create(filepath.Join(*outDir, e.ID+"."+ext))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wexp: %v\n", err)
+				return 1
+			}
+			out = f
+		}
+
+		switch *format {
+		case "markdown":
+			err = tbl.Markdown(out)
+		case "csv":
+			err = tbl.CSV(out)
+		default:
+			err = tbl.Render(out)
+			if err == nil {
+				_, err = fmt.Fprintf(out, "(%s)\n\n", elapsed)
+			}
+		}
+		if out != stdout {
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wexp: %s: %v\n", e.ID, err)
+			return 1
+		}
+	}
+	return 0
+}

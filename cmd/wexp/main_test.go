@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a temp file and returns
+// (exit code, output).
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "wexp-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, f)
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+func TestList(t *testing.T) {
+	code, out := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, id := range []string{"F1", "T10a", "T18a", "X7"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _ := capture(t, []string{"-run", "ZZZ"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _ := capture(t, []string{"-definitely-not-a-flag"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunSingleExperimentText(t *testing.T) {
+	code, out := capture(t, []string{"-quick", "-trials", "2", "-run", "F1"})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "Trapdoor epoch schedule") || !strings.Contains(out, "note:") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	code, out := capture(t, []string{"-quick", "-trials", "2", "-run", "F2", "-format", "markdown"})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "| super-epoch |") {
+		t.Fatalf("markdown table missing:\n%s", out)
+	}
+}
+
+func TestRunCSVToDir(t *testing.T) {
+	dir := t.TempDir()
+	code, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "L2", "-format", "csv", "-out", dir})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "L2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "s,") {
+		t.Fatalf("csv = %q", string(data)[:20])
+	}
+}

@@ -1,0 +1,159 @@
+// Command wlower runs the paper's lower-bound experiments standalone.
+//
+// Subcommands:
+//
+//	wlower firstclear -N 256 -F 8 -t 2 -trials 50
+//	    Theorem 1 setting: rounds until the first clear broadcast for n=N
+//	    nodes on the Trapdoor regular schedule under the weak adversary.
+//
+//	wlower twonode -F 8 -t 2 -offset 100 -trials 200
+//	    Theorem 4 game: two-node rendezvous against the greedy adversary.
+//
+//	wlower width -F 8 -t 2 -trials 200
+//	    Sweep the uniform spreading width; the optimum is near min(F, 2t).
+//
+//	wlower balls -s 3 -m 8 -trials 10000
+//	    Lemma 2 balls-in-bins estimate against the 2^-s bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsync/internal/lowerbound"
+	"wsync/internal/stats"
+	"wsync/internal/trapdoor"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "firstclear":
+		return firstClear(args[1:])
+	case "twonode":
+		return twoNode(args[1:])
+	case "width":
+		return width(args[1:])
+	case "balls":
+		return balls(args[1:])
+	default:
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wlower {firstclear|twonode|width|balls} [flags]")
+}
+
+func firstClear(args []string) int {
+	fs := flag.NewFlagSet("firstclear", flag.ExitOnError)
+	nBound := fs.Int("N", 256, "participant bound (and node count)")
+	f := fs.Int("F", 8, "frequencies")
+	t := fs.Int("t", 2, "jammed prefix size")
+	trials := fs.Int("trials", 50, "repetitions")
+	seed := fs.Uint64("seed", 1, "seed")
+	_ = fs.Parse(args)
+
+	reg := lowerbound.NewTrapdoorRegular(trapdoor.Params{N: *nBound, F: *f, T: *t})
+	xs := make([]float64, 0, *trials)
+	for i := 0; i < *trials; i++ {
+		res, err := lowerbound.FirstClear(reg, *nBound, *f, *t, 1<<22, *seed+uint64(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlower: %v\n", err)
+			return 1
+		}
+		if res.Happened {
+			xs = append(xs, float64(res.Rounds))
+		}
+	}
+	s := stats.Summarize(xs)
+	theory := lowerbound.Theorem1Rounds(float64(*nBound), float64(*f), float64(*t))
+	fmt.Printf("first clear broadcast: %s\n", s)
+	fmt.Printf("theory lg²N/((F−t)lglgN) = %.2f, median/theory = %.2f\n", theory, s.Median/theory)
+	return 0
+}
+
+func twoNode(args []string) int {
+	fs := flag.NewFlagSet("twonode", flag.ExitOnError)
+	f := fs.Int("F", 8, "frequencies")
+	t := fs.Int("t", 2, "adversary budget")
+	offset := fs.Uint64("offset", 0, "activation offset of the second node")
+	trials := fs.Int("trials", 200, "repetitions")
+	seed := fs.Uint64("seed", 1, "seed")
+	_ = fs.Parse(args)
+
+	m := 2 * *t
+	if m > *f {
+		m = *f
+	}
+	if m <= *t {
+		m = *t + 1
+	}
+	reg := lowerbound.UniformRegular{M: m, P: 0.5}
+	xs := make([]float64, 0, *trials)
+	misses := 0
+	for i := 0; i < *trials; i++ {
+		res := lowerbound.TwoNodeGame(reg, reg, *f, *t, *offset, 1<<20, *seed+uint64(i))
+		if res.Met {
+			xs = append(xs, float64(res.Rounds))
+		} else {
+			misses++
+		}
+	}
+	s := stats.Summarize(xs)
+	fmt.Printf("two-node rendezvous (width %d): %s (misses: %d)\n", m, s, misses)
+	fmt.Printf("theory Ft/(F−t) = %.2f\n",
+		lowerbound.Theorem4Rounds(float64(*f), float64(*t), 1/2.718281828459045))
+	return 0
+}
+
+func width(args []string) int {
+	fs := flag.NewFlagSet("width", flag.ExitOnError)
+	f := fs.Int("F", 8, "frequencies")
+	t := fs.Int("t", 2, "adversary budget")
+	trials := fs.Int("trials", 200, "repetitions per width")
+	seed := fs.Uint64("seed", 1, "seed")
+	_ = fs.Parse(args)
+
+	best, means := lowerbound.BestUniformWidth(*f, *t, *trials, 1<<16, *seed)
+	fmt.Printf("width  mean rendezvous rounds\n")
+	for m := 1; m <= *f; m++ {
+		marker := ""
+		if m == best {
+			marker = "  <- best"
+		}
+		if m == 2**t || (2**t > *f && m == *f) {
+			marker += "  (min(F,2t))"
+		}
+		fmt.Printf("%5d  %.1f%s\n", m, means[m], marker)
+	}
+	return 0
+}
+
+func balls(args []string) int {
+	fs := flag.NewFlagSet("balls", flag.ExitOnError)
+	s := fs.Int("s", 3, "nontrivial bins")
+	m := fs.Int("m", 8, "balls")
+	pLast := fs.Float64("plast", 0.5, "probability of the heavy bin (>= 0.5)")
+	decay := fs.Float64("decay", 1, "geometric profile decay in (0, 1]")
+	trials := fs.Int("trials", 10000, "repetitions")
+	seed := fs.Uint64("seed", 1, "seed")
+	_ = fs.Parse(args)
+
+	probs := lowerbound.Lemma2Distribution(*s, *pLast, *decay)
+	got := lowerbound.EstimateNoSingleton(*m, probs, *trials, *seed)
+	bound := lowerbound.Lemma2Bound(*s)
+	fmt.Printf("distribution: %v\n", probs)
+	fmt.Printf("P[no singleton] = %.4f, Lemma 2 bound 2^-s = %.4f, holds: %v\n",
+		got, bound, got >= bound*0.9)
+	return 0
+}

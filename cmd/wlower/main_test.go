@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunSubcommands(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown", []string{"nope"}, 2},
+		{"balls", []string{"balls", "-s", "2", "-m", "4", "-trials", "500"}, 0},
+		{"width", []string{"width", "-F", "6", "-t", "2", "-trials", "30"}, 0},
+		{"twonode", []string{"twonode", "-F", "6", "-t", "2", "-trials", "30"}, 0},
+		{"firstclear", []string{"firstclear", "-N", "16", "-F", "6", "-t", "2", "-trials", "5"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := run(c.args); got != c.want {
+				t.Fatalf("run(%v) = %d, want %d", c.args, got, c.want)
+			}
+		})
+	}
+}

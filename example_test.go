@@ -1,0 +1,83 @@
+package wsync_test
+
+import (
+	"fmt"
+	"log"
+
+	"wsync"
+)
+
+// ExampleRun synchronizes eight devices on a jammed band with the Trapdoor
+// Protocol.
+func ExampleRun() {
+	res, err := wsync.Run(wsync.Config{
+		Protocol:  wsync.Trapdoor,
+		Nodes:     8,
+		N:         64,
+		F:         8,
+		T:         2,
+		Adversary: "fixed", // jam frequencies 1..t forever
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.AllSynced, res.Leaders, res.PropertiesOK)
+	// Output: true 1 true
+}
+
+// ExampleRun_goodSamaritan uses the adaptive protocol when the band is
+// calmer than the worst case.
+func ExampleRun_goodSamaritan() {
+	res, err := wsync.Run(wsync.Config{
+		Protocol:     wsync.GoodSamaritan,
+		Nodes:        2,
+		N:            16,
+		F:            8,
+		T:            4, // budget the protocol must survive
+		Adversary:    "fixed",
+		JammedPrefix: 1, // ... but only one frequency is actually jammed
+		Seed:         5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.AllSynced, res.PropertiesOK)
+	// Output: true true
+}
+
+// ExampleRun_customAgent shows the extension point for applications built
+// on synchronized rounds: wrap a protocol node inside your own agent.
+func ExampleRun_customAgent() {
+	received := 0
+	res, err := wsync.Run(wsync.Config{
+		Nodes: 2,
+		F:     4,
+		Seed:  7,
+		NewAgent: func(id int, activation uint64, r *wsync.Rand) wsync.Agent {
+			node, err := wsync.NewTrapdoorNode(
+				wsync.TrapdoorParams{N: 16, F: 4, T: 0}, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return &countingAgent{Agent: node, hits: &received}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.AllSynced, received > 0)
+	// Output: true true
+}
+
+// countingAgent forwards to an embedded protocol node and counts
+// deliveries.
+type countingAgent struct {
+	wsync.Agent
+	hits *int
+}
+
+func (c *countingAgent) Deliver(m wsync.Message) {
+	*c.hits++
+	c.Agent.Deliver(m)
+}

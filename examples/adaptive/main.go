@@ -1,0 +1,80 @@
+// Adaptive synchronization: when should you prefer the Good Samaritan
+// Protocol over the Trapdoor Protocol?
+//
+// Both protocols must be configured for the worst-case disruption budget
+// t. The Trapdoor Protocol pays for that budget no matter how calm the
+// band actually is; the Good Samaritan Protocol adapts to the *actual*
+// disruption t' and finishes in O(t'·log³N) rounds when devices start
+// together. This example sweeps t' and prints both protocols'
+// synchronization times — reproducing the crossover that motivates
+// Section 7 of the paper.
+//
+// Run it: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"wsync"
+)
+
+const (
+	nodes   = 2
+	nBound  = 16
+	fBand   = 256
+	tBudget = 128 // worst-case budget both protocols must tolerate
+	trials  = 3
+)
+
+func median(xs []uint64) uint64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[len(xs)/2]
+}
+
+// measure runs one protocol against a jammer that disrupts only the t'
+// lowest frequencies and returns the median worst-node sync time.
+func measure(p wsync.Protocol, tPrime int) uint64 {
+	times := make([]uint64, 0, trials)
+	for s := uint64(0); s < trials; s++ {
+		res, err := wsync.Run(wsync.Config{
+			Protocol:     p,
+			Nodes:        nodes,
+			N:            nBound,
+			F:            fBand,
+			T:            tBudget,
+			Adversary:    "fixed",
+			JammedPrefix: tPrime,
+			Seed:         1 + s,
+			MaxRounds:    1 << 23,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.AllSynced {
+			log.Fatalf("%s did not synchronize at t'=%d", p, tPrime)
+		}
+		times = append(times, res.MaxSyncLocal)
+	}
+	return median(times)
+}
+
+func main() {
+	fmt.Printf("F=%d frequencies, worst-case budget t=%d, %d devices, N=%d\n",
+		fBand, tBudget, nodes, nBound)
+	fmt.Printf("the jammer actually disrupts only t' frequencies:\n\n")
+	fmt.Printf("%6s  %18s  %18s  %s\n", "t'", "Trapdoor (rounds)", "Samaritan (rounds)", "faster")
+	for _, tPrime := range []int{1, 2, 4, 8, 16} {
+		td := measure(wsync.Trapdoor, tPrime)
+		gs := measure(wsync.GoodSamaritan, tPrime)
+		faster := "Trapdoor"
+		if gs < td {
+			faster = "Samaritan"
+		}
+		fmt.Printf("%6d  %18d  %18d  %s\n", tPrime, td, gs, faster)
+	}
+	fmt.Println("\nthe Trapdoor Protocol's runtime is oblivious to the real interference;")
+	fmt.Println("the Good Samaritan Protocol tracks it (Theorem 18: O(t'·log³N)) and")
+	fmt.Println("wins when the band is much calmer than the worst case it must survive.")
+}

@@ -1,0 +1,206 @@
+// Jammed hopping: the paper's motivating application (Section 1).
+// Bluetooth-style devices avoid a jammer by pseudorandom frequency
+// hopping — but hopping only works if every device derives the hop from
+// the same round number.
+//
+// This example runs the same data-distribution workload twice on a
+// staggered ad hoc network under a random jammer:
+//
+//   - WITHOUT synchronization, each device hops on its own local round
+//     counter. The counters are misaligned, so sender and receivers rarely
+//     meet: goodput ≈ 1/F.
+//   - WITH the Trapdoor Protocol first establishing a global round
+//     numbering, everyone hops together: goodput ≈ (F−t)/F · sendRate.
+//
+// Run it: go run ./examples/jammed_hopping
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"wsync"
+)
+
+const (
+	numNodes  = 6
+	fBand     = 8
+	tBudget   = 2
+	nBound    = 64
+	seed      = 7
+	dataSpan  = 4000 // rounds of the measurement window
+	settle    = 800  // rounds after own sync before entering data mode
+	groupKey  = 0x5ca1ab1e
+	sendProb  = 0.9
+	maxRounds = 200000
+)
+
+// hop derives the shared hopping frequency for a round number.
+func hop(round uint64) int {
+	x := round ^ groupKey
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return 1 + int(x%uint64(fBand))
+}
+
+// hoppingAgent synchronizes with an embedded Trapdoor node, then switches
+// to frequency-hopped data exchange driven by the agreed round numbers.
+// With sync disabled it hops on its local round counter instead.
+type hoppingAgent struct {
+	id       int
+	sync     wsync.Agent // nil in the unsynchronized variant
+	r        *wsync.Rand
+	isSender bool // unsynchronized variant: fixed sender
+
+	syncedAt  uint64 // local round of commitment
+	delivered int
+	sent      int
+}
+
+func (h *hoppingAgent) Step(local uint64) wsync.Action {
+	var round uint64
+	var inData bool
+	if h.sync == nil {
+		// Unsynchronized: data mode immediately, hopping on local rounds.
+		round = local
+		inData = true
+	} else {
+		act := h.sync.Step(local)
+		out := h.sync.Output()
+		if !out.Synced {
+			return act
+		}
+		if h.syncedAt == 0 {
+			h.syncedAt = local
+		}
+		if local-h.syncedAt < settle {
+			return act // keep running the protocol while others catch up
+		}
+		round = out.Value
+		inData = true
+	}
+	if !inData {
+		return wsync.Action{Freq: 1}
+	}
+	f := hop(round)
+	sender := h.isSender
+	if h.sync != nil {
+		lr, ok := h.sync.(wsync.LeaderReporter)
+		sender = ok && lr.IsLeader()
+	}
+	if sender && h.r.Bernoulli(sendProb) {
+		payload := make([]byte, 8)
+		binary.BigEndian.PutUint64(payload, round)
+		h.sent++
+		return wsync.Action{
+			Freq:     f,
+			Transmit: true,
+			Msg:      wsync.Message{Kind: wsync.KindData, Payload: payload},
+		}
+	}
+	return wsync.Action{Freq: f}
+}
+
+func (h *hoppingAgent) Deliver(m wsync.Message) {
+	if m.Kind == wsync.KindData {
+		h.delivered++
+		return
+	}
+	if h.sync != nil {
+		h.sync.Deliver(m)
+	}
+}
+
+func (h *hoppingAgent) Output() wsync.Output {
+	if h.sync == nil {
+		return wsync.Output{Value: 0, Synced: false}
+	}
+	return h.sync.Output()
+}
+
+// runWorkload executes one variant and returns (packets sent, mean packets
+// received per listener).
+func runWorkload(withSync bool) (int, float64) {
+	agents := make([]*hoppingAgent, numNodes)
+	cfg := wsync.Config{
+		Nodes:         numNodes,
+		F:             fBand,
+		T:             tBudget,
+		Adversary:     "random",
+		Activation:    "staggered",
+		ActivationGap: 120, // devices arrive over ~600 rounds
+		Seed:          seed,
+		MaxRounds:     maxRounds,
+		NewAgent: func(id int, activation uint64, r *wsync.Rand) wsync.Agent {
+			h := &hoppingAgent{id: id, r: r, isSender: id == 0}
+			if withSync {
+				node, err := wsync.NewTrapdoorNode(
+					wsync.TrapdoorParams{N: nBound, F: fBand, T: tBudget}, r)
+				if err != nil {
+					log.Fatal(err)
+				}
+				h.sync = node
+			}
+			agents[id] = h
+			return h
+		},
+	}
+	// Fixed horizon: protocol phase + measurement window.
+	cfg.MaxRounds = uint64(dataSpan) + 12000
+	cfg.RunFullBudget = true
+	res, err := wsync.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = res
+
+	sent := 0
+	received := 0
+	listeners := 0
+	for _, a := range agents {
+		sent += a.sent
+		sender := a.isSender
+		if a.sync != nil {
+			lr, ok := a.sync.(wsync.LeaderReporter)
+			sender = ok && lr.IsLeader()
+		}
+		if !sender {
+			received += a.delivered
+			listeners++
+		}
+	}
+	if listeners == 0 {
+		return sent, 0
+	}
+	return sent, float64(received) / float64(listeners)
+}
+
+func main() {
+	fmt.Printf("frequency-hopped data distribution on F=%d frequencies, %d jammed/round\n",
+		fBand, tBudget)
+	fmt.Printf("%d devices arrive staggered; the sender broadcasts on hop(round)\n\n", numNodes)
+
+	sentNo, gotNo := runWorkload(false)
+	fmt.Printf("WITHOUT synchronization (hopping on local counters):\n")
+	fmt.Printf("  sender transmitted %5d packets; mean received per listener: %8.1f (%.1f%%)\n\n",
+		sentNo, gotNo, pct(gotNo, sentNo))
+
+	sentYes, gotYes := runWorkload(true)
+	fmt.Printf("WITH Trapdoor synchronization first (hopping on the shared numbering):\n")
+	fmt.Printf("  sender transmitted %5d packets; mean received per listener: %8.1f (%.1f%%)\n\n",
+		sentYes, gotYes, pct(gotYes, sentYes))
+
+	if sentYes > 0 && sentNo > 0 && pct(gotYes, sentYes) > pct(gotNo, sentNo) {
+		fmt.Println("synchronized hopping delivers an order of magnitude more data —")
+		fmt.Println("the common round numbering is what makes coordinated hopping possible.")
+	}
+}
+
+func pct(got float64, sent int) float64 {
+	if sent == 0 {
+		return 0
+	}
+	return 100 * got / float64(sent)
+}

@@ -1,0 +1,92 @@
+// Replicated log: Section 8 of the paper observes that "a leader combined
+// with a common round view simplifies consensus, maintaining replicated
+// state, and the collection and distribution of messages".
+//
+// This example demonstrates exactly that: five devices on a jammed band
+// first synchronize with the Trapdoor Protocol (electing a leader as a
+// side effect), then the leader replicates a command log to everyone.
+// Retransmission over the synchronized rounds is the only recovery
+// mechanism needed; committed prefixes stay identical on every device
+// throughout.
+//
+// Run it: go run ./examples/replicated_log
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsync"
+)
+
+const (
+	members = 5
+	fBand   = 8
+	tBudget = 2
+	nBound  = 32
+	seed    = 9
+)
+
+func main() {
+	commands := []uint64{0xCAFE, 0xBEEF, 0xF00D, 0xD00D, 0xFACE, 0xDEED}
+
+	nodes := make([]*wsync.ReplicatedLogNode, members)
+	res, err := wsync.Run(wsync.Config{
+		Nodes:         members,
+		F:             fBand,
+		T:             tBudget,
+		Adversary:     "random",
+		Seed:          seed,
+		MaxRounds:     60000,
+		RunFullBudget: true,
+		NewAgent: func(id int, activation uint64, r *wsync.Rand) wsync.Agent {
+			n, err := wsync.NewReplicatedTrapdoorNode(
+				wsync.ReplicatedLogConfig{
+					Members:  members,
+					F:        fBand,
+					Commands: commands,
+					Settle:   300,
+				},
+				wsync.TrapdoorParams{N: nBound, F: fBand, T: tBudget},
+				r,
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nodes[id] = n
+			return n
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("synchronization: all synced = %v, properties OK = %v, leaders = %d\n",
+		res.AllSynced, res.PropertiesOK, res.Leaders)
+
+	fmt.Printf("\nreplication of %d commands over %d rounds on a band with %d/%d frequencies jammed:\n\n",
+		len(commands), res.Rounds, tBudget, fBand)
+	fmt.Println("device  role      committed  log")
+	allOK := true
+	for i, n := range nodes {
+		role := "follower"
+		if n.IsLeader() {
+			role = "leader"
+		}
+		fmt.Printf("  %2d    %-8s  %d/%d       %x\n", i, role, n.CommitIndex(), len(commands), n.Log())
+		if n.CommitIndex() != len(commands) {
+			allOK = false
+		}
+		for k, v := range n.Log() {
+			if v != commands[k] {
+				allOK = false
+			}
+		}
+	}
+	if allOK {
+		fmt.Println("\nevery device committed the identical log — replicated state on a jammed")
+		fmt.Println("ad hoc radio band, built from nothing but wireless synchronization.")
+	} else {
+		fmt.Println("\nreplication incomplete; increase MaxRounds or try another seed")
+	}
+}

@@ -1,0 +1,266 @@
+// Package adversary implements interference adversaries for the disrupted
+// radio network model.
+//
+// The model grants the adversary up to t disrupted frequencies per round,
+// chosen with knowledge of the protocol and of the execution through the
+// previous round (Section 2). This package provides the adversaries used by
+// the paper's arguments and by the experiments:
+//
+//   - None: no disruption (a baseline sanity adversary).
+//   - Fixed: a static set, e.g. frequencies 1..t — the "weak adversary" of
+//     the Theorem 1 lower bound.
+//   - Random: a fresh uniform t-subset each round; oblivious, as required
+//     by the Good Samaritan analysis.
+//   - Sweep: a sliding window of t consecutive frequencies, a classic
+//     scanning jammer.
+//   - Bursty: alternates jamming and silence, modeling intermittent
+//     interference (microwave ovens, co-located protocols).
+//   - Reactive: adaptively jams the frequencies that carried the most
+//     transmissions in the previous round — legal in the model because it
+//     only uses completed history.
+//   - LowPrefix: jams the t' lowest frequencies; the natural worst case
+//     for the Good Samaritan protocol's low-frequency optimism.
+//
+// All adversaries are deterministic given their construction parameters
+// (Random and Bursty take explicit seeds), keeping simulations reproducible.
+package adversary
+
+import (
+	"wsync/internal/freqset"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// None never disrupts.
+type None struct{}
+
+var _ sim.Adversary = None{}
+
+// Disrupt returns nil, meaning no frequencies are disrupted.
+func (None) Disrupt(uint64, *sim.History) *freqset.Set { return nil }
+
+// Fixed disrupts the same set every round.
+type Fixed struct {
+	set *freqset.Set
+}
+
+var _ sim.Adversary = (*Fixed)(nil)
+
+// NewFixed returns an adversary that always disrupts the given frequencies
+// (each in [1..f]).
+func NewFixed(f int, freqs []int) *Fixed {
+	return &Fixed{set: freqset.FromSlice(f, freqs)}
+}
+
+// NewPrefix returns the weak adversary of Theorem 1: it disrupts
+// frequencies 1..t in every round.
+func NewPrefix(f, t int) *Fixed {
+	freqs := make([]int, t)
+	for i := range freqs {
+		freqs[i] = i + 1
+	}
+	return NewFixed(f, freqs)
+}
+
+// Disrupt returns the fixed set.
+func (a *Fixed) Disrupt(uint64, *sim.History) *freqset.Set { return a.set }
+
+// Random disrupts a fresh uniform t-subset of [1..F] each round. It is an
+// oblivious adversary: its choices depend only on its seed, never on the
+// execution.
+type Random struct {
+	f, t int
+	r    *rng.Rand
+	set  *freqset.Set
+}
+
+var _ sim.Adversary = (*Random)(nil)
+
+// NewRandom returns a Random adversary over [1..f] disrupting t frequencies
+// per round, driven by seed.
+func NewRandom(f, t int, seed uint64) *Random {
+	return &Random{f: f, t: t, r: rng.New(seed), set: freqset.New(f)}
+}
+
+// Disrupt returns a fresh uniform t-subset.
+func (a *Random) Disrupt(uint64, *sim.History) *freqset.Set {
+	a.set.Clear()
+	for _, idx := range a.r.SampleK(a.f, a.t) {
+		a.set.Add(idx + 1)
+	}
+	return a.set
+}
+
+// Sweep disrupts a window of t consecutive frequencies that slides by Step
+// each round, wrapping around the band.
+type Sweep struct {
+	f, t, step int
+	set        *freqset.Set
+}
+
+var _ sim.Adversary = (*Sweep)(nil)
+
+// NewSweep returns a sweeping jammer over [1..f] with window t advancing by
+// step each round (step defaults to 1 when <= 0).
+func NewSweep(f, t, step int) *Sweep {
+	if step <= 0 {
+		step = 1
+	}
+	return &Sweep{f: f, t: t, step: step, set: freqset.New(f)}
+}
+
+// Disrupt returns the current window.
+func (a *Sweep) Disrupt(round uint64, _ *sim.History) *freqset.Set {
+	a.set.Clear()
+	base := int((round - 1) % uint64(a.f) * uint64(a.step) % uint64(a.f))
+	for i := 0; i < a.t; i++ {
+		a.set.Add((base+i)%a.f + 1)
+	}
+	return a.set
+}
+
+// Bursty jams a random t-subset for On rounds, then is silent for Off
+// rounds, repeating. It models intermittent interference.
+type Bursty struct {
+	inner   *Random
+	on, off uint64
+	empty   *freqset.Set
+}
+
+var _ sim.Adversary = (*Bursty)(nil)
+
+// NewBursty returns a bursty jammer with the given on/off period lengths
+// (each forced to >= 1).
+func NewBursty(f, t int, on, off uint64, seed uint64) *Bursty {
+	if on == 0 {
+		on = 1
+	}
+	if off == 0 {
+		off = 1
+	}
+	return &Bursty{inner: NewRandom(f, t, seed), on: on, off: off, empty: freqset.New(f)}
+}
+
+// Disrupt jams during the on-phase of each on+off cycle.
+func (a *Bursty) Disrupt(round uint64, h *sim.History) *freqset.Set {
+	if (round-1)%(a.on+a.off) < a.on {
+		return a.inner.Disrupt(round, h)
+	}
+	return a.empty
+}
+
+// Reactive disrupts the t frequencies that carried the most transmissions
+// in the previous round (ties broken toward lower frequencies), which is
+// the strongest history-based strategy expressible without knowing the
+// current round's choices. It is adaptive but legal in the model.
+type Reactive struct {
+	f, t int
+	set  *freqset.Set
+	cnt  []int
+}
+
+var _ sim.Adversary = (*Reactive)(nil)
+
+// NewReactive returns a reactive jammer over [1..f] with budget t.
+func NewReactive(f, t int) *Reactive {
+	return &Reactive{f: f, t: t, set: freqset.New(f), cnt: make([]int, f+1)}
+}
+
+// Disrupt jams the t busiest frequencies of the previous round.
+func (a *Reactive) Disrupt(_ uint64, h *sim.History) *freqset.Set {
+	a.set.Clear()
+	if h.Last == nil {
+		// No history yet: jam the low prefix.
+		for i := 1; i <= a.t; i++ {
+			a.set.Add(i)
+		}
+		return a.set
+	}
+	for f := 1; f <= a.f; f++ {
+		a.cnt[f] = 0
+	}
+	for _, act := range h.Last.Actions {
+		if act.Transmit {
+			a.cnt[act.Freq]++
+		}
+	}
+	for k := 0; k < a.t; k++ {
+		best, bestCnt := 0, -1
+		for f := 1; f <= a.f; f++ {
+			if !a.set.Contains(f) && a.cnt[f] > bestCnt {
+				best, bestCnt = f, a.cnt[f]
+			}
+		}
+		a.set.Add(best)
+	}
+	return a.set
+}
+
+// Stalker adaptively jams the frequencies where the most nodes LISTENED in
+// the previous round — the legal history-based strategy that maximally
+// starves receivers. It complements Reactive (which targets transmitters):
+// against protocols whose listeners cluster (narrow-band phases of the
+// Good Samaritan protocol), Stalker is the harsher of the two.
+type Stalker struct {
+	f, t int
+	set  *freqset.Set
+	cnt  []int
+}
+
+var _ sim.Adversary = (*Stalker)(nil)
+
+// NewStalker returns a listener-targeting jammer over [1..f] with budget t.
+func NewStalker(f, t int) *Stalker {
+	return &Stalker{f: f, t: t, set: freqset.New(f), cnt: make([]int, f+1)}
+}
+
+// Disrupt jams the t most-listened-on frequencies of the previous round.
+func (a *Stalker) Disrupt(_ uint64, h *sim.History) *freqset.Set {
+	a.set.Clear()
+	if h.Last == nil {
+		for i := 1; i <= a.t; i++ {
+			a.set.Add(i)
+		}
+		return a.set
+	}
+	for f := 1; f <= a.f; f++ {
+		a.cnt[f] = 0
+	}
+	for _, act := range h.Last.Actions {
+		if !act.Transmit {
+			a.cnt[act.Freq]++
+		}
+	}
+	for k := 0; k < a.t; k++ {
+		best, bestCnt := 0, -1
+		for f := 1; f <= a.f; f++ {
+			if !a.set.Contains(f) && a.cnt[f] > bestCnt {
+				best, bestCnt = f, a.cnt[f]
+			}
+		}
+		a.set.Add(best)
+	}
+	return a.set
+}
+
+// LowPrefix jams frequencies 1..t' where t' may be below the budget t; it
+// is the adversary used in the Good Samaritan "good execution" experiments
+// (at most t' < t frequencies disrupted, and the jammed set overlaps the
+// protocol's preferred low band).
+type LowPrefix struct {
+	set *freqset.Set
+}
+
+var _ sim.Adversary = (*LowPrefix)(nil)
+
+// NewLowPrefix returns an adversary that always jams 1..tPrime over [1..f].
+func NewLowPrefix(f, tPrime int) *LowPrefix {
+	freqs := make([]int, tPrime)
+	for i := range freqs {
+		freqs[i] = i + 1
+	}
+	return &LowPrefix{set: freqset.FromSlice(f, freqs)}
+}
+
+// Disrupt returns the fixed low prefix.
+func (a *LowPrefix) Disrupt(uint64, *sim.History) *freqset.Set { return a.set }

@@ -1,0 +1,279 @@
+package adversary
+
+import (
+	"testing"
+
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+	"wsync/internal/trapdoor"
+)
+
+func TestNone(t *testing.T) {
+	if got := (None{}).Disrupt(1, nil); got != nil {
+		t.Fatalf("None disrupted %v", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	a := NewPrefix(8, 3)
+	s := a.Disrupt(1, nil)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for f := 1; f <= 3; f++ {
+		if !s.Contains(f) {
+			t.Fatalf("prefix missing %d", f)
+		}
+	}
+	if s.Contains(4) {
+		t.Fatal("prefix contains 4")
+	}
+	// Same set every round.
+	if !a.Disrupt(99, nil).Equal(s) {
+		t.Fatal("prefix varies across rounds")
+	}
+}
+
+func TestPrefixZero(t *testing.T) {
+	if got := NewPrefix(8, 0).Disrupt(1, nil).Len(); got != 0 {
+		t.Fatalf("empty prefix has Len %d", got)
+	}
+}
+
+func TestRandom(t *testing.T) {
+	a := NewRandom(16, 4, 7)
+	seen := make(map[string]bool)
+	for r := uint64(1); r <= 50; r++ {
+		s := a.Disrupt(r, nil)
+		if s.Len() != 4 {
+			t.Fatalf("round %d: Len = %d, want 4", r, s.Len())
+		}
+		for _, f := range s.Slice() {
+			if f < 1 || f > 16 {
+				t.Fatalf("round %d: frequency %d out of range", r, f)
+			}
+		}
+		seen[s.String()] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("random adversary produced only %d distinct sets in 50 rounds", len(seen))
+	}
+	// Determinism by seed.
+	b1, b2 := NewRandom(16, 4, 9), NewRandom(16, 4, 9)
+	for r := uint64(1); r <= 20; r++ {
+		if !b1.Disrupt(r, nil).Equal(b2.Disrupt(r, nil)) {
+			t.Fatal("random adversary not deterministic by seed")
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	a := NewSweep(6, 2, 1)
+	s1 := a.Disrupt(1, nil)
+	if !s1.Contains(1) || !s1.Contains(2) || s1.Len() != 2 {
+		t.Fatalf("round 1 window = %v", s1.Slice())
+	}
+	s2 := a.Disrupt(2, nil)
+	if !s2.Contains(2) || !s2.Contains(3) {
+		t.Fatalf("round 2 window = %v", s2.Slice())
+	}
+	// Wraps around the band.
+	s6 := a.Disrupt(6, nil)
+	if !s6.Contains(6) || !s6.Contains(1) {
+		t.Fatalf("round 6 window = %v", s6.Slice())
+	}
+}
+
+func TestBursty(t *testing.T) {
+	a := NewBursty(8, 2, 3, 2, 1)
+	for r := uint64(1); r <= 10; r++ {
+		s := a.Disrupt(r, nil)
+		inOn := (r-1)%5 < 3
+		if inOn && s.Len() != 2 {
+			t.Fatalf("round %d: expected jamming, got %v", r, s.Slice())
+		}
+		if !inOn && s.Len() != 0 {
+			t.Fatalf("round %d: expected silence, got %v", r, s.Slice())
+		}
+	}
+}
+
+func TestReactive(t *testing.T) {
+	a := NewReactive(6, 2)
+	// No history: jams the low prefix.
+	s := a.Disrupt(1, &sim.History{F: 6})
+	if !s.Contains(1) || !s.Contains(2) {
+		t.Fatalf("initial reactive set = %v", s.Slice())
+	}
+	// With history: jams the busiest previous-round frequencies.
+	h := &sim.History{
+		F: 6,
+		Last: &sim.RoundRecord{
+			Actions: []sim.ActionRecord{
+				{Node: 0, Freq: 5, Transmit: true},
+				{Node: 1, Freq: 5, Transmit: true},
+				{Node: 2, Freq: 3, Transmit: true},
+				{Node: 3, Freq: 2, Transmit: false},
+			},
+		},
+	}
+	s = a.Disrupt(2, h)
+	if !s.Contains(5) || !s.Contains(3) {
+		t.Fatalf("reactive set = %v, want {3, 5}", s.Slice())
+	}
+}
+
+func TestLowPrefix(t *testing.T) {
+	a := NewLowPrefix(16, 3)
+	s := a.Disrupt(4, nil)
+	if s.Len() != 3 || !s.Contains(1) || !s.Contains(3) || s.Contains(4) {
+		t.Fatalf("low prefix = %v", s.Slice())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name, 8, 2, 1)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		s := a.Disrupt(1, &sim.History{F: 8})
+		if s != nil && s.Len() > 2 {
+			t.Errorf("New(%q) exceeded budget: %v", name, s.Slice())
+		}
+	}
+	if _, err := New("nosuch", 8, 2, 1); err == nil {
+		t.Error("unknown adversary accepted")
+	}
+	if _, err := New("fixed", 8, 8, 1); err == nil {
+		t.Error("t >= F accepted")
+	}
+	if _, err := New("", 8, 0, 1); err != nil {
+		t.Errorf("empty name should mean none: %v", err)
+	}
+}
+
+// stubAgent counts interactions for the crash wrapper test.
+type stubAgent struct {
+	steps, delivers int
+	leader          bool
+}
+
+func (s *stubAgent) Step(local uint64) sim.Action {
+	s.steps++
+	return sim.Action{Freq: 2, Transmit: true}
+}
+func (s *stubAgent) Deliver(msg.Message)    { s.delivers++ }
+func (s *stubAgent) Output() sim.Output     { return sim.Output{Value: 9, Synced: true} }
+func (s *stubAgent) IsLeader() bool         { return s.leader }
+func (s *stubAgent) BroadcastProb() float64 { return 0.5 }
+
+func TestCrashAgent(t *testing.T) {
+	inner := &stubAgent{leader: true}
+	c := &CrashAgent{Inner: inner, CrashAt: 3}
+
+	a := c.Step(1)
+	if !a.Transmit || inner.steps != 1 {
+		t.Fatal("pre-crash Step not forwarded")
+	}
+	c.Deliver(msg.Message{})
+	if inner.delivers != 1 {
+		t.Fatal("pre-crash Deliver not forwarded")
+	}
+	if out := c.Output(); !out.Synced || out.Value != 9 {
+		t.Fatal("pre-crash Output not forwarded")
+	}
+	if !c.IsLeader() || c.BroadcastProb() != 0.5 {
+		t.Fatal("pre-crash reporting not forwarded")
+	}
+
+	_ = c.Step(2)
+	a = c.Step(3) // crash
+	if a.Transmit {
+		t.Fatal("crashed node transmitted")
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() false after crash round")
+	}
+	c.Deliver(msg.Message{})
+	if inner.delivers != 1 {
+		t.Fatal("post-crash Deliver forwarded")
+	}
+	if out := c.Output(); out.Synced {
+		t.Fatal("crashed node produced output")
+	}
+	if c.IsLeader() || c.BroadcastProb() != 0 {
+		t.Fatal("crashed node still reports leadership/weight")
+	}
+	if inner.steps != 2 {
+		t.Fatalf("inner steps = %d, want 2", inner.steps)
+	}
+}
+
+func TestCrashAgentNeverCrashes(t *testing.T) {
+	inner := &stubAgent{}
+	c := &CrashAgent{Inner: inner}
+	for r := uint64(1); r <= 100; r++ {
+		_ = c.Step(r)
+	}
+	if c.Crashed() {
+		t.Fatal("CrashAt=0 agent crashed")
+	}
+	if inner.steps != 100 {
+		t.Fatalf("inner steps = %d", inner.steps)
+	}
+}
+
+func TestStalker(t *testing.T) {
+	a := NewStalker(6, 2)
+	// No history: low prefix.
+	s := a.Disrupt(1, &sim.History{F: 6})
+	if !s.Contains(1) || !s.Contains(2) {
+		t.Fatalf("initial stalker set = %v", s.Slice())
+	}
+	// With history: jams where the listeners were.
+	h := &sim.History{
+		F: 6,
+		Last: &sim.RoundRecord{
+			Actions: []sim.ActionRecord{
+				{Node: 0, Freq: 4, Transmit: false},
+				{Node: 1, Freq: 4, Transmit: false},
+				{Node: 2, Freq: 6, Transmit: false},
+				{Node: 3, Freq: 2, Transmit: true}, // transmitter: ignored
+			},
+		},
+	}
+	s = a.Disrupt(2, h)
+	if !s.Contains(4) || !s.Contains(6) {
+		t.Fatalf("stalker set = %v, want {4, 6}", s.Slice())
+	}
+	if s.Contains(2) {
+		t.Fatal("stalker jammed a transmitter-only frequency")
+	}
+}
+
+// TestStalkerDoesNotPreventSync: even the listener-targeting jammer cannot
+// stop the Trapdoor Protocol (its budget is still t < F).
+func TestStalkerDoesNotPreventSync(t *testing.T) {
+	p := trapdoor.Params{N: 16, F: 8, T: 3}
+	cfg := &sim.Config{
+		F:    p.F,
+		T:    p.T,
+		Seed: 8,
+		NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+			return trapdoor.MustNew(p, r)
+		},
+		Schedule:  sim.Simultaneous{Count: 4},
+		Adversary: NewStalker(p.F, p.T),
+		MaxRounds: 1 << 21,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSynced {
+		t.Fatalf("stalker prevented synchronization (%d rounds)", res.Stats.Rounds)
+	}
+}

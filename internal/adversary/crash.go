@@ -1,0 +1,75 @@
+package adversary
+
+import (
+	"wsync/internal/msg"
+	"wsync/internal/sim"
+)
+
+// CrashAgent wraps a protocol agent and kills it at a scheduled local
+// round, modeling the crash faults discussed in Section 8. A crashed node
+// stops transmitting and stops updating its output (it parks listening on
+// frequency 1 and reports ⊥), which is indistinguishable on the medium from
+// the node leaving.
+type CrashAgent struct {
+	// Inner is the wrapped protocol instance.
+	Inner sim.Agent
+	// CrashAt is the local round at the start of which the node dies; 0
+	// means never.
+	CrashAt uint64
+
+	crashed bool
+}
+
+var _ sim.Agent = (*CrashAgent)(nil)
+
+// Step forwards to the inner agent until the crash round.
+func (c *CrashAgent) Step(local uint64) sim.Action {
+	if c.CrashAt != 0 && local >= c.CrashAt {
+		c.crashed = true
+	}
+	if c.crashed {
+		return sim.Action{Freq: 1}
+	}
+	return c.Inner.Step(local)
+}
+
+// Deliver forwards to the inner agent unless crashed.
+func (c *CrashAgent) Deliver(m msg.Message) {
+	if !c.crashed {
+		c.Inner.Deliver(m)
+	}
+}
+
+// Output reports ⊥ once crashed; a dead node produces no outputs.
+func (c *CrashAgent) Output() sim.Output {
+	if c.crashed {
+		return sim.Output{}
+	}
+	return c.Inner.Output()
+}
+
+// Crashed reports whether the node has crashed.
+func (c *CrashAgent) Crashed() bool { return c.crashed }
+
+// IsLeader forwards leader reporting for uncrashed nodes so experiment
+// accounting ignores dead leaders.
+func (c *CrashAgent) IsLeader() bool {
+	if c.crashed {
+		return false
+	}
+	if lr, ok := c.Inner.(sim.LeaderReporter); ok {
+		return lr.IsLeader()
+	}
+	return false
+}
+
+// BroadcastProb forwards weight probing; crashed nodes have weight zero.
+func (c *CrashAgent) BroadcastProb() float64 {
+	if c.crashed {
+		return 0
+	}
+	if bp, ok := c.Inner.(sim.BroadcastProber); ok {
+		return bp.BroadcastProb()
+	}
+	return 0
+}

@@ -1,0 +1,276 @@
+// Package baseline implements comparison protocols for the experiment
+// harness. None of them is from the paper; each isolates one design
+// decision of the paper's protocols by removing it:
+//
+//   - Wakeup: a wake-up–style protocol with the Trapdoor probability ramp
+//     but no knockout competition: every node announces its own numbering,
+//     adopts the first larger-timestamped numbering it hears, and simply
+//     assumes leadership after its ramp if it heard nobody. It is fast but
+//     offers no single-leader guarantee, so agreement can fail —
+//     demonstrating why the Trapdoor's competition exists.
+//   - SingleFreq: the same protocol confined to frequency 1. Without
+//     disruption it synchronizes; with any jammer covering frequency 1 it
+//     livelocks — demonstrating why multiple frequencies are necessary
+//     (the Theorem 4 intuition).
+//   - RoundRobin: a deterministic hopping protocol (frequency and
+//     transmit/listen role derived from local age and identifier). A
+//     sweeping jammer can track it and identical-parity populations can
+//     deadlock — demonstrating why randomization matters.
+package baseline
+
+import (
+	"wsync/internal/core"
+	"wsync/internal/freqdist"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// Wakeup is the no-competition baseline. See the package comment.
+type Wakeup struct {
+	n   int // participant bound (power of two)
+	f   int
+	r   *rng.Rand
+	uid uint64
+	age uint64
+
+	dist      freqdist.Uniform
+	out       core.OutputState
+	adopted   bool // adopted someone else's numbering
+	committed bool // committed to its own numbering ("leader")
+}
+
+var (
+	_ sim.Agent           = (*Wakeup)(nil)
+	_ sim.BroadcastProber = (*Wakeup)(nil)
+	_ sim.LeaderReporter  = (*Wakeup)(nil)
+)
+
+// NewWakeup returns a wake-up baseline node for a system of at most n
+// participants on f frequencies.
+func NewWakeup(n, f int, r *rng.Rand) *Wakeup {
+	if n < 2 {
+		n = 2
+	}
+	return &Wakeup{
+		n:    freqdist.NextPow2(n),
+		f:    f,
+		r:    r,
+		uid:  core.NewUID(r, n),
+		dist: freqdist.NewUniform(1, f),
+	}
+}
+
+func (w *Wakeup) lg() int {
+	lg := freqdist.CeilLog2(w.n)
+	if lg < 1 {
+		lg = 1
+	}
+	return lg
+}
+
+// rampLen is the number of rounds after which a silent node assumes
+// leadership: lg N epochs of lg N rounds each.
+func (w *Wakeup) rampLen() uint64 {
+	lg := uint64(w.lg())
+	return lg * lg
+}
+
+// prob returns the ramped broadcast probability 2^e/(2N), epoch length
+// lg N, capped at 1/2.
+func (w *Wakeup) prob() float64 {
+	lg := w.lg()
+	e := int(w.age-1)/lg + 1
+	if e > lg {
+		e = lg
+	}
+	return float64(uint64(1)<<uint(e)) / (2 * float64(w.n))
+}
+
+// BroadcastProb implements sim.BroadcastProber.
+func (w *Wakeup) BroadcastProb() float64 {
+	if w.adopted {
+		return 0
+	}
+	if w.committed {
+		return 0.5
+	}
+	return w.prob()
+}
+
+// Step implements sim.Agent.
+func (w *Wakeup) Step(local uint64) sim.Action {
+	w.age = local
+	w.out.Tick()
+	if w.adopted {
+		return sim.Action{Freq: w.dist.Sample(w.r)}
+	}
+	if !w.committed && w.age > w.rampLen() {
+		// Heard nobody for the whole ramp: assume leadership.
+		w.committed = true
+		w.out.Adopt(w.age)
+	}
+	p := w.prob()
+	if w.committed {
+		p = 0.5
+	}
+	f := w.dist.Sample(w.r)
+	if w.r.Bernoulli(p) {
+		return sim.Action{
+			Freq:     f,
+			Transmit: true,
+			Msg: msg.Message{
+				Kind:   msg.KindLeader,
+				TS:     msg.Timestamp{Age: w.age, UID: w.uid},
+				Round:  w.age, // proposed numbering: the sender's age
+				Scheme: w.uid,
+			},
+		}
+	}
+	return sim.Action{Freq: f}
+}
+
+// Deliver implements sim.Agent: adopt the first larger timestamp's
+// numbering unless already settled.
+func (w *Wakeup) Deliver(m msg.Message) {
+	if w.adopted || w.committed || m.Kind != msg.KindLeader {
+		return
+	}
+	if (msg.Timestamp{Age: w.age, UID: w.uid}).Less(m.TS) {
+		w.adopted = true
+		w.out.Adopt(m.Round)
+	}
+}
+
+// Output implements sim.Agent.
+func (w *Wakeup) Output() sim.Output {
+	if !w.out.Synced() {
+		return sim.Output{}
+	}
+	return sim.Output{Value: w.out.Value(), Synced: true}
+}
+
+// IsLeader reports whether the node committed to its own numbering.
+func (w *Wakeup) IsLeader() bool { return w.committed }
+
+// SingleFreq is the wake-up baseline confined to one frequency. It
+// demonstrates that without frequency diversity, a single jammed channel
+// defeats synchronization entirely.
+type SingleFreq struct {
+	inner *Wakeup
+}
+
+var (
+	_ sim.Agent           = (*SingleFreq)(nil)
+	_ sim.BroadcastProber = (*SingleFreq)(nil)
+	_ sim.LeaderReporter  = (*SingleFreq)(nil)
+)
+
+// NewSingleFreq returns a single-frequency baseline node.
+func NewSingleFreq(n int, r *rng.Rand) *SingleFreq {
+	return &SingleFreq{inner: NewWakeup(n, 1, r)}
+}
+
+// Step forwards to the wake-up logic, forcing frequency 1.
+func (s *SingleFreq) Step(local uint64) sim.Action {
+	a := s.inner.Step(local)
+	a.Freq = 1
+	return a
+}
+
+// Deliver forwards to the wake-up logic.
+func (s *SingleFreq) Deliver(m msg.Message) { s.inner.Deliver(m) }
+
+// Output forwards to the wake-up logic.
+func (s *SingleFreq) Output() sim.Output { return s.inner.Output() }
+
+// IsLeader forwards to the wake-up logic.
+func (s *SingleFreq) IsLeader() bool { return s.inner.IsLeader() }
+
+// BroadcastProb forwards to the wake-up logic.
+func (s *SingleFreq) BroadcastProb() float64 { return s.inner.BroadcastProb() }
+
+// RoundRobin is a deterministic baseline: frequency and role are pure
+// functions of (age, uid). In each frame of F rounds a node hops across
+// all frequencies; frames alternate between transmitting and listening,
+// with the order decided by the identifier's parity. After SelfCommitFrames
+// silent frames it assumes leadership.
+type RoundRobin struct {
+	f   int
+	uid uint64
+	age uint64
+	out core.OutputState
+
+	adopted   bool
+	committed bool
+}
+
+// SelfCommitFrames is the number of 2F-round frames a RoundRobin node
+// waits before assuming leadership.
+const SelfCommitFrames = 8
+
+var (
+	_ sim.Agent          = (*RoundRobin)(nil)
+	_ sim.LeaderReporter = (*RoundRobin)(nil)
+)
+
+// NewRoundRobin returns a deterministic baseline node. The identifier is
+// still drawn randomly (the only randomness, mirroring a MAC address).
+func NewRoundRobin(n, f int, r *rng.Rand) *RoundRobin {
+	return &RoundRobin{f: f, uid: core.NewUID(r, n)}
+}
+
+// Step implements sim.Agent.
+func (rr *RoundRobin) Step(local uint64) sim.Action {
+	rr.age = local
+	rr.out.Tick()
+	freq := 1 + int((rr.age+rr.uid)%uint64(rr.f))
+	if rr.adopted {
+		return sim.Action{Freq: freq}
+	}
+	if !rr.committed && rr.age > uint64(2*SelfCommitFrames*rr.f) {
+		rr.committed = true
+		rr.out.Adopt(rr.age)
+	}
+	frame := (rr.age / uint64(rr.f)) & 1
+	sendFrame := rr.uid & 1
+	if frame == sendFrame {
+		round := rr.age
+		if rr.committed {
+			round = rr.out.Value()
+		}
+		return sim.Action{
+			Freq:     freq,
+			Transmit: true,
+			Msg: msg.Message{
+				Kind:   msg.KindLeader,
+				TS:     msg.Timestamp{Age: rr.age, UID: rr.uid},
+				Round:  round,
+				Scheme: rr.uid,
+			},
+		}
+	}
+	return sim.Action{Freq: freq}
+}
+
+// Deliver implements sim.Agent.
+func (rr *RoundRobin) Deliver(m msg.Message) {
+	if rr.adopted || rr.committed || m.Kind != msg.KindLeader {
+		return
+	}
+	if (msg.Timestamp{Age: rr.age, UID: rr.uid}).Less(m.TS) {
+		rr.adopted = true
+		rr.out.Adopt(m.Round)
+	}
+}
+
+// Output implements sim.Agent.
+func (rr *RoundRobin) Output() sim.Output {
+	if !rr.out.Synced() {
+		return sim.Output{}
+	}
+	return sim.Output{Value: rr.out.Value(), Synced: true}
+}
+
+// IsLeader reports whether the node committed to its own numbering.
+func (rr *RoundRobin) IsLeader() bool { return rr.committed }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wsync/internal/rng"
+)
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{
+		RoleContender:  "contender",
+		RoleKnockedOut: "knocked-out",
+		RoleLeader:     "leader",
+		RoleSamaritan:  "samaritan",
+		RolePassive:    "passive",
+		RoleFallback:   "fallback",
+		RoleSynced:     "synced",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+	if !strings.HasPrefix(Role(88).String(), "role(") {
+		t.Error("unknown role String malformed")
+	}
+}
+
+func TestNewUIDRange(t *testing.T) {
+	r := rng.New(1)
+	const n = 32
+	limit := uint64(UIDSpread) * n * n
+	for i := 0; i < 5000; i++ {
+		uid := NewUID(r, n)
+		if uid < 1 || uid > limit {
+			t.Fatalf("uid %d outside [1..%d]", uid, limit)
+		}
+	}
+}
+
+func TestNewUIDCollisionsRare(t *testing.T) {
+	r := rng.New(2)
+	const n = 1024
+	seen := make(map[uint64]bool, n)
+	collisions := 0
+	for i := 0; i < n; i++ {
+		uid := NewUID(r, n)
+		if seen[uid] {
+			collisions++
+		}
+		seen[uid] = true
+	}
+	// Expected collisions ~ n²/(2·16·n²) = 1/32; allow a couple.
+	if collisions > 2 {
+		t.Fatalf("%d collisions among %d UIDs", collisions, n)
+	}
+}
+
+func TestNewUIDDegenerateN(t *testing.T) {
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		uid := NewUID(r, 0)
+		if uid < 1 || uid > UIDSpread {
+			t.Fatalf("uid %d for n=0", uid)
+		}
+	}
+}
+
+func TestOutputStateBottomUntilAdopt(t *testing.T) {
+	var o OutputState
+	for i := 0; i < 5; i++ {
+		o.Tick()
+		if o.Synced() {
+			t.Fatal("synced before Adopt")
+		}
+	}
+}
+
+func TestOutputStateAdoptThenIncrement(t *testing.T) {
+	var o OutputState
+	o.Tick()
+	o.Adopt(100) // round 1 output: 100
+	if !o.Synced() || o.Value() != 100 {
+		t.Fatalf("after adopt: synced=%v value=%d", o.Synced(), o.Value())
+	}
+	o.Tick() // round 2
+	if o.Value() != 101 {
+		t.Fatalf("round 2 value = %d, want 101", o.Value())
+	}
+	o.Tick() // round 3
+	if o.Value() != 102 {
+		t.Fatalf("round 3 value = %d, want 102", o.Value())
+	}
+}
+
+func TestOutputStateReAdoptAligns(t *testing.T) {
+	var o OutputState
+	o.Tick()
+	o.Adopt(50)
+	o.Tick()    // 51
+	o.Adopt(51) // heartbeat confirming the same scheme
+	if o.Value() != 51 {
+		t.Fatalf("value = %d after aligned re-adopt", o.Value())
+	}
+	o.Tick()
+	if o.Value() != 52 {
+		t.Fatalf("value = %d, want 52", o.Value())
+	}
+}
+
+// Property: after Adopt(v) and k Ticks, the value is v+k and the state
+// stays synced (Correctness and Synch Commit).
+func TestQuickOutputProgression(t *testing.T) {
+	f := func(v uint64, kRaw uint8) bool {
+		if v > 1<<62 {
+			v %= 1 << 62
+		}
+		k := uint64(kRaw)
+		var o OutputState
+		o.Tick()
+		o.Adopt(v)
+		for i := uint64(0); i < k; i++ {
+			o.Tick()
+			if !o.Synced() {
+				return false
+			}
+		}
+		return o.Value() == v+k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

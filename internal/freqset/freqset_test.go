@@ -1,0 +1,212 @@
+package freqset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	s := New(10)
+	if s.Len() != 0 {
+		t.Fatalf("new set has Len %d", s.Len())
+	}
+	if s.Universe() != 10 {
+		t.Fatalf("Universe = %d", s.Universe())
+	}
+	for f := 1; f <= 10; f++ {
+		if s.Contains(f) {
+			t.Fatalf("empty set contains %d", f)
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // spans multiple words
+	for _, f := range []int{1, 64, 65, 128, 129, 130} {
+		s.Add(f)
+		if !s.Contains(f) {
+			t.Fatalf("Contains(%d) false after Add", f)
+		}
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", s.Len())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) true after Remove")
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(5)
+	s.Add(3)
+	s.Add(3)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after double Add", s.Len())
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(5)
+	s.Add(5)
+	if s.Contains(0) || s.Contains(6) || s.Contains(-1) {
+		t.Fatal("Contains reported membership outside universe")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(6) on universe 5 did not panic")
+		}
+	}()
+	New(5).Add(6)
+}
+
+func TestFromSliceAndSlice(t *testing.T) {
+	s := FromSlice(10, []int{7, 2, 9, 2})
+	got := s.Slice()
+	want := []int{2, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromSlice(100, []int{1, 50, 100})
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", s.Len())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := FromSlice(10, []int{1, 2})
+	c := s.Clone()
+	c.Add(3)
+	if s.Contains(3) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("clone missing original members")
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a := FromSlice(10, []int{1, 2, 3})
+	b := FromSlice(10, []int{3, 4})
+	a.Union(b)
+	for _, f := range []int{1, 2, 3, 4} {
+		if !a.Contains(f) {
+			t.Fatalf("union missing %d", f)
+		}
+	}
+	a.Intersect(b)
+	if a.Len() != 2 || !a.Contains(3) || !a.Contains(4) {
+		t.Fatalf("intersect = %v", a.Slice())
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched universe did not panic")
+		}
+	}()
+	New(5).Union(New(6))
+}
+
+func TestComplement(t *testing.T) {
+	s := FromSlice(67, []int{1, 66})
+	c := s.Complement()
+	if c.Len() != 65 {
+		t.Fatalf("complement Len = %d, want 65", c.Len())
+	}
+	if c.Contains(1) || c.Contains(66) {
+		t.Fatal("complement contains original members")
+	}
+	if !c.Contains(67) || !c.Contains(2) {
+		t.Fatal("complement missing expected members")
+	}
+	// No bits beyond the universe.
+	if c.Contains(68) {
+		t.Fatal("complement contains out-of-universe member")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice(10, []int{1, 5})
+	b := FromSlice(10, []int{5, 1})
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	b.Add(6)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	if a.Equal(New(11)) {
+		t.Fatal("different universes reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{3, 1}).String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(3).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: complement of complement is the original set.
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(members []uint8) bool {
+		const universe = 200
+		s := New(universe)
+		for _, m := range members {
+			s.Add(int(m)%universe + 1)
+		}
+		return s.Complement().Complement().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len(s) + Len(complement(s)) == universe.
+func TestQuickComplementLen(t *testing.T) {
+	f := func(members []uint8) bool {
+		const universe = 150
+		s := New(universe)
+		for _, m := range members {
+			s.Add(int(m)%universe + 1)
+		}
+		return s.Len()+s.Complement().Len() == universe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Slice round-trips through FromSlice.
+func TestQuickSliceRoundTrip(t *testing.T) {
+	f := func(members []uint8) bool {
+		const universe = 100
+		s := New(universe)
+		for _, m := range members {
+			s.Add(int(m)%universe + 1)
+		}
+		return FromSlice(universe, s.Slice()).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"fmt"
+
+	"wsync/internal/adversary"
+	"wsync/internal/baseline"
+	"wsync/internal/props"
+	"wsync/internal/rng"
+	"wsync/internal/samaritan"
+	"wsync/internal/sim"
+	"wsync/internal/stats"
+	"wsync/internal/trapdoor"
+)
+
+// protoStats accumulates one protocol's row for the comparison tables.
+type protoStats struct {
+	synced      int
+	runs        int
+	syncRounds  []float64
+	multiLeader int
+	violations  int
+}
+
+func (ps *protoStats) addRow(tbl *Table, name string) {
+	med := 0.0
+	if len(ps.syncRounds) > 0 {
+		med = stats.Summarize(ps.syncRounds).Median
+	}
+	tbl.AddRow(name,
+		fmt.Sprintf("%d/%d", ps.synced, ps.runs),
+		med,
+		ps.multiLeader,
+		ps.violations,
+	)
+}
+
+// compareProtocols runs each named agent factory under the same
+// environment and collects the comparison statistics.
+func compareProtocols(o Options, tbl *Table, f, tJam, active int,
+	sched sim.Schedule, mkAdv func(seed uint64) sim.Adversary,
+	protos []struct {
+		name string
+		mk   func(r *rng.Rand) sim.Agent
+	}, maxRounds uint64) error {
+	for _, proto := range protos {
+		ps := protoStats{}
+		results, err := parallelRuns(o.trials(), func(i int) (runResult, error) {
+			seed := o.Seed + uint64(i)
+			check := props.NewChecker(active)
+			cfg := &sim.Config{
+				F:    f,
+				T:    tJam,
+				Seed: seed,
+				NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+					return proto.mk(r)
+				},
+				Schedule:  sched,
+				Adversary: mkAdv(seed),
+				MaxRounds: maxRounds,
+				Observers: []sim.Observer{check},
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return runResult{}, err
+			}
+			return runResult{res: res, violations: check.Count(), leaders: res.Leaders}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, rr := range results {
+			ps.runs++
+			if rr.res.AllSynced {
+				ps.synced++
+				ps.syncRounds = append(ps.syncRounds, float64(rr.res.MaxSyncLocal))
+			}
+			if rr.leaders != 1 {
+				ps.multiLeader++
+			}
+			if rr.violations > 0 {
+				ps.violations++
+			}
+		}
+		ps.addRow(tbl, proto.name)
+	}
+	return nil
+}
+
+// runX2 compares the paper's protocols against the baselines under the
+// same jamming environment.
+func runX2(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "X2",
+		Title:   "Baseline comparison under jamming",
+		Columns: []string{"protocol", "synced", "median rounds", "multi-leader runs", "violation runs"},
+	}
+	const nBound, f, tJam, active = 64, 8, 2, 8
+	tp := trapdoor.Params{N: nBound, F: f, T: tJam}
+	sp := samaritan.Params{N: nBound, F: f, T: tJam}
+	protos := []struct {
+		name string
+		mk   func(r *rng.Rand) sim.Agent
+	}{
+		{"trapdoor", func(r *rng.Rand) sim.Agent { return trapdoor.MustNew(tp, r) }},
+		{"samaritan", func(r *rng.Rand) sim.Agent { return samaritan.MustNew(sp, r) }},
+		{"wakeup (no competition)", func(r *rng.Rand) sim.Agent { return baseline.NewWakeup(nBound, f, r) }},
+		{"round-robin (deterministic)", func(r *rng.Rand) sim.Agent { return baseline.NewRoundRobin(nBound, f, r) }},
+		{"single-frequency", func(r *rng.Rand) sim.Agent { return baseline.NewSingleFreq(nBound, r) }},
+	}
+	// Staggered activation: devices that self-commit at different ages
+	// hold different numberings, so the baselines' agreement failures are
+	// observable (with simultaneous starts their wrong outputs coincide).
+	err := compareProtocols(o, tbl, f, tJam, active,
+		sim.Staggered{Count: active, Gap: 3},
+		func(seed uint64) sim.Adversary { return adversary.NewPrefix(f, tJam) },
+		protos, 1<<21)
+	if err != nil {
+		return nil, err
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("environment: N=%d, n=%d staggered arrivals, F=%d, adversary jams frequencies 1..%d forever", nBound, active, f, tJam),
+		"'synced' counts nodes that output SOMETHING; the violation column shows whether the outputs were consistent",
+		"wakeup is fast but elects multiple conflicting leaders (agreement failures)",
+		"single-frequency cannot communicate at all while its channel is jammed: every node strands on its own numbering",
+		"the paper's protocols are the only ones that are both live and safe")
+	return tbl, nil
+}
+
+// funcObserver adapts a closure to sim.Observer.
+type funcObserver struct {
+	fn func(rec *sim.RoundRecord)
+}
+
+func (f funcObserver) ObserveRound(rec *sim.RoundRecord) { f.fn(rec) }
+
+// runX3 exercises the Section 8 crash-tolerance extension: the elected
+// leader crashes and the remaining nodes must detect the silence, restart
+// the competition, and re-elect a leader that continues the numbering.
+func runX3(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "X3",
+		Title:   "Crash fault tolerance (Section 8)",
+		Columns: []string{"runs", "recovered", "median re-election rounds", "mean restarts/node", "violations"},
+	}
+	const nBound, f, tJam, active = 16, 8, 2, 4
+	p := trapdoor.Params{
+		N: nBound, F: f, T: tJam,
+		FaultTolerant:   true,
+		CommitThreshold: 2,
+	}
+	crashAt := 3 * p.TotalRounds() // well after election and dissemination
+	maxRounds := crashAt + 40*p.EffectiveLeaderTimeout() + 4*p.TotalRounds()
+
+	runs := o.trials()
+	recovered, violations := 0, 0
+	var reelect []float64
+	var restarts []float64
+	for i := 0; i < runs; i++ {
+		nodes := make([]*trapdoor.Node, active)
+		var reelectedAt uint64
+		check := props.NewChecker(active)
+		scan := funcObserver{fn: func(rec *sim.RoundRecord) {
+			if reelectedAt != 0 || rec.Round <= crashAt {
+				return
+			}
+			for id := 1; id < active; id++ { // node 0 is the crashed one
+				if nodes[id] != nil && nodes[id].IsLeader() {
+					reelectedAt = rec.Round
+					return
+				}
+			}
+		}}
+		cfg := &sim.Config{
+			F:    f,
+			T:    tJam,
+			Seed: o.Seed + uint64(i),
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				n := trapdoor.MustNew(p, r)
+				nodes[id] = n
+				if id == 0 {
+					// Node 0 is activated first (ties by id): it wins the
+					// first election, then dies.
+					return &adversary.CrashAgent{Inner: n, CrashAt: crashAt}
+				}
+				return n
+			},
+			Schedule:       sim.Staggered{Count: active, Gap: 2},
+			Adversary:      adversary.NewPrefix(f, tJam),
+			MaxRounds:      maxRounds,
+			RunToMaxRounds: true,
+			Observers:      []sim.Observer{scan, check},
+		}
+		if _, err := sim.Run(cfg); err != nil {
+			return nil, err
+		}
+		if reelectedAt != 0 {
+			recovered++
+			reelect = append(reelect, float64(reelectedAt-crashAt))
+		}
+		totalRestarts := 0
+		for id := 1; id < active; id++ {
+			totalRestarts += nodes[id].Restarts()
+		}
+		restarts = append(restarts, float64(totalRestarts)/float64(active-1))
+		// Exclude the crashed node's forced ⊥ reversion (it reports ⊥
+		// after death by design); count only violations on survivors.
+		for _, v := range check.Violations() {
+			if v.Node != 0 {
+				violations++
+			}
+		}
+	}
+	med := 0.0
+	if len(reelect) > 0 {
+		med = stats.Summarize(reelect).Median
+	}
+	tbl.AddRow(runs, fmt.Sprintf("%d/%d", recovered, runs), med,
+		stats.Mean(restarts), violations)
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("leader (first-activated node) crashes at local round %d; timeout %d rounds", crashAt, p.EffectiveLeaderTimeout()),
+		"recovered = some surviving node re-won the competition after the crash",
+		"survivors keep their committed numbering across the restart (Synch Commit preserved)")
+	return tbl, nil
+}
+
+// runX4 runs the ablations: remove the knockout rule, remove samaritan
+// help, and sweep the epoch-length constant.
+func runX4(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "X4",
+		Title:   "Ablations: knockout, samaritan help, constants",
+		Columns: []string{"variant", "synced", "median rounds", "multi-leader runs", "violation runs"},
+	}
+	const nBound, f, tJam, active = 64, 8, 2, 8
+	tdProtos := []struct {
+		name string
+		mk   func(r *rng.Rand) sim.Agent
+	}{
+		{"trapdoor (paper)", func(r *rng.Rand) sim.Agent {
+			return trapdoor.MustNew(trapdoor.Params{N: nBound, F: f, T: tJam}, r)
+		}},
+		{"trapdoor, no knockout", func(r *rng.Rand) sim.Agent {
+			return trapdoor.MustNew(trapdoor.Params{N: nBound, F: f, T: tJam, AblationNoKnockout: true}, r)
+		}},
+		{"trapdoor, CEpoch=1 (short epochs)", func(r *rng.Rand) sim.Agent {
+			return trapdoor.MustNew(trapdoor.Params{N: nBound, F: f, T: tJam, CEpoch: 1, CFinal: 1}, r)
+		}},
+		{"trapdoor, CEpoch=12 (long epochs)", func(r *rng.Rand) sim.Agent {
+			return trapdoor.MustNew(trapdoor.Params{N: nBound, F: f, T: tJam, CEpoch: 12, CFinal: 6}, r)
+		}},
+	}
+	err := compareProtocols(o, tbl, f, tJam, active,
+		sim.Staggered{Count: active, Gap: 3},
+		func(seed uint64) sim.Adversary { return adversary.NewPrefix(f, tJam) },
+		tdProtos, 1<<21)
+	if err != nil {
+		return nil, err
+	}
+
+	// Samaritan-help ablation in the good case: without reports, every
+	// execution must ride the slow fallback.
+	const gsN, gsF, gsT, gsActive = 16, 16, 8, 4
+	gsProtos := []struct {
+		name string
+		mk   func(r *rng.Rand) sim.Agent
+	}{
+		{"samaritan (paper), t'=1", func(r *rng.Rand) sim.Agent {
+			return samaritan.MustNew(samaritan.Params{N: gsN, F: gsF, T: gsT}, r)
+		}},
+		{"samaritan, no help, t'=1", func(r *rng.Rand) sim.Agent {
+			return samaritan.MustNew(samaritan.Params{N: gsN, F: gsF, T: gsT, AblationNoHelp: true}, r)
+		}},
+	}
+	err = compareProtocols(o, tbl, gsF, gsT, gsActive,
+		sim.Simultaneous{Count: gsActive},
+		func(seed uint64) sim.Adversary { return adversary.NewLowPrefix(gsF, 1) },
+		gsProtos, 1<<23)
+	if err != nil {
+		return nil, err
+	}
+	tbl.Notes = append(tbl.Notes,
+		"no knockout → every survivor becomes leader: agreement collapses (why the trapdoor exists)",
+		"short epochs are faster but raise the multi-leader rate; long epochs buy safety with time",
+		"no samaritan help → the optimistic portion can never elect: good executions pay the full fallback cost")
+	return tbl, nil
+}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wsync/internal/sim"
+)
+
+// Options tunes experiment size. The zero value means defaults.
+type Options struct {
+	// Trials is the number of repetitions per sweep point; 0 means
+	// DefaultTrials.
+	Trials int
+	// Seed offsets all experiment seeds, for independent replications.
+	Seed uint64
+	// Quick shrinks sweeps to their smallest meaningful grids (used by CI
+	// and -short benchmarks).
+	Quick bool
+}
+
+// DefaultTrials is the per-point repetition count when Options.Trials is 0.
+const DefaultTrials = 20
+
+func (o Options) trials() int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick {
+		return 5
+	}
+	return DefaultTrials
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "F1", Title: "Trapdoor epoch schedule (Figure 1)", Run: runF1},
+		{ID: "F2", Title: "Good Samaritan round structure (Figure 2)", Run: runF2},
+		{ID: "L2", Title: "Balls-in-bins no-singleton bound (Lemma 2)", Run: runL2},
+		{ID: "T1", Title: "Regular-protocol lower bound scaling (Theorem 1)", Run: runT1},
+		{ID: "T4", Title: "Two-node rendezvous lower bound (Theorem 4)", Run: runT4},
+		{ID: "T10a", Title: "Trapdoor synchronization time vs N (Theorem 10)", Run: runT10a},
+		{ID: "T10b", Title: "Trapdoor synchronization time vs t (Theorem 10)", Run: runT10b},
+		{ID: "T10c", Title: "Trapdoor agreement / leader uniqueness (Theorem 10)", Run: runT10c},
+		{ID: "L9", Title: "Broadcast weight self-regulation (Lemma 9)", Run: runL9},
+		{ID: "T18a", Title: "Good Samaritan adaptive runtime vs t' (Theorem 18)", Run: runT18a},
+		{ID: "T18b", Title: "Good Samaritan fallback runtime (Theorem 18)", Run: runT18b},
+		{ID: "X1", Title: "Crossover: Trapdoor vs Good Samaritan", Run: runX1},
+		{ID: "X2", Title: "Baseline comparison under jamming", Run: runX2},
+		{ID: "X3", Title: "Crash fault tolerance (Section 8)", Run: runX3},
+		{ID: "X4", Title: "Ablations: knockout, samaritan help, constants", Run: runX4},
+		{ID: "X5", Title: "Unslotted transformation (Section 8)", Run: runX5},
+		{ID: "X6", Title: "Replicated log on synchronized rounds (Section 8)", Run: runX6},
+		{ID: "X7", Title: "Multi-hop relay synchronization (Section 8)", Run: runX7},
+		{ID: "X8", Title: "Adversary gallery (model robustness)", Run: runX8},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// parallelMap runs fn for i in [0, n) across worker goroutines and collects
+// the results in order. fn must be safe for concurrent invocation with
+// distinct i.
+func parallelMap(n int, fn func(i int) (float64, error)) ([]float64, error) {
+	out := make([]float64, n)
+	errs := make([]error, n)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WeightObserver tracks the broadcast weight W(r) = Σ_u p_u^r over a run
+// (Definition 7 / Lemma 9). Attach it together with Config.ProbeWeights.
+type WeightObserver struct {
+	Max      float64
+	MaxRound uint64
+	Sum      float64
+	Rounds   uint64
+}
+
+var _ sim.Observer = (*WeightObserver)(nil)
+
+// ObserveRound implements sim.Observer.
+func (w *WeightObserver) ObserveRound(rec *sim.RoundRecord) {
+	if rec.Weights == nil {
+		return
+	}
+	total := 0.0
+	for _, p := range rec.Weights {
+		total += p
+	}
+	if total > w.Max {
+		w.Max = total
+		w.MaxRound = rec.Round
+	}
+	w.Sum += total
+	w.Rounds++
+}
+
+// MeanWeight returns the average per-round broadcast weight.
+func (w *WeightObserver) MeanWeight() float64 {
+	if w.Rounds == 0 {
+		return 0
+	}
+	return w.Sum / float64(w.Rounds)
+}
+
+// runResult bundles what the sweep experiments need from one simulation.
+type runResult struct {
+	res        *sim.Result
+	violations int
+	leaders    int
+}
+
+// parallelRuns is parallelMap for full run results.
+func parallelRuns(n int, fn func(i int) (runResult, error)) ([]runResult, error) {
+	out := make([]runResult, n)
+	errs := make([]error, n)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func checkFailf(format string, args ...any) error {
+	return fmt.Errorf("harness: "+format, args...)
+}

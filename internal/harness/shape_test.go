@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseRatioColumn extracts a numeric column from a rendered table.
+func parseColumn(t *testing.T, tbl *Table, name string) []float64 {
+	t.Helper()
+	col := -1
+	for i, c := range tbl.Columns {
+		if c == name {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("column %q not in %v", name, tbl.Columns)
+	}
+	var out []float64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+		if err != nil {
+			t.Fatalf("column %q row value %q: %v", name, row[col], err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestT10aShapeHolds is the automated version of the headline reproduction
+// criterion: across the N sweep, measured synchronization time divided by
+// the Theorem 10 bound must stay within a narrow band (the paper's shape,
+// not its constants). Skipped under -short; this runs real sweeps.
+func TestT10aShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	tbl, err := runT10a(Options{Trials: 10, Seed: 909})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := parseColumn(t, tbl, "ratio")
+	if len(ratios) < 3 {
+		t.Fatalf("only %d sweep points", len(ratios))
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	// Shape criterion: max/min ratio within a factor 1.6 across a 64x
+	// sweep of N.
+	if hi/lo > 1.6 {
+		t.Fatalf("T10a ratio drifts %0.2fx across the sweep (%v)", hi/lo, ratios)
+	}
+}
+
+// TestT18aShapeHolds asserts the adaptive protocol's defining property:
+// synchronization time grows roughly linearly with the actual disruption
+// t' (factor 1.5–4 per doubling, allowing the super-epoch quantization).
+func TestT18aShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	tbl, err := runT18a(Options{Trials: 8, Seed: 909})
+	if err != nil {
+		t.Fatal(err)
+	}
+	medians := parseColumn(t, tbl, "median rounds")
+	if len(medians) < 3 {
+		t.Fatalf("only %d sweep points", len(medians))
+	}
+	for i := 1; i < len(medians); i++ {
+		growth := medians[i] / medians[i-1]
+		if growth < 1.2 || growth > 5 {
+			t.Fatalf("t' doubling grew runtime by %0.2fx (want ~linear): %v", growth, medians)
+		}
+	}
+}
+
+// TestX1CrossoverHolds asserts the qualitative claim that motivates the
+// Good Samaritan protocol: it beats the Trapdoor when the band is much
+// calmer than the worst case, and loses when disruption approaches the
+// budget.
+func TestX1CrossoverHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	tbl, err := runX1(Options{Trials: 8, Seed: 909})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	winnerCol := len(tbl.Columns) - 1
+	first := tbl.Rows[0][winnerCol]
+	last := tbl.Rows[len(tbl.Rows)-1][winnerCol]
+	if first != "Samaritan" {
+		t.Fatalf("at minimal t' the Samaritan should win, got %q", first)
+	}
+	if last != "Trapdoor" {
+		t.Fatalf("at t' near t the Trapdoor should win, got %q", last)
+	}
+}

@@ -1,0 +1,93 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"wsync/internal/rng"
+)
+
+// NoSingleton throws m balls independently into len(probs) bins according
+// to the given distribution and reports whether no bin received exactly one
+// ball — the event Lemma 2 lower-bounds. probs must be non-negative and sum
+// to 1 (within tolerance); it panics otherwise, since distributions are
+// constructed by experiment code.
+func NoSingleton(m int, probs []float64, r *rng.Rand) bool {
+	validateDist(probs)
+	counts := make([]int, len(probs))
+	for b := 0; b < m; b++ {
+		counts[sampleDist(probs, r)]++
+	}
+	for _, c := range counts {
+		if c == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func validateDist(probs []float64) {
+	sum := 0.0
+	for _, p := range probs {
+		if p < 0 {
+			panic(fmt.Sprintf("lowerbound: negative probability %v", p))
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		panic(fmt.Sprintf("lowerbound: probabilities sum to %v", sum))
+	}
+}
+
+func sampleDist(probs []float64, r *rng.Rand) int {
+	x := r.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// EstimateNoSingleton estimates P[no bin receives exactly one ball] over
+// the given number of trials.
+func EstimateNoSingleton(m int, probs []float64, trials int, seed uint64) float64 {
+	r := rng.New(seed)
+	hit := 0
+	for i := 0; i < trials; i++ {
+		if NoSingleton(m, probs, r) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(trials)
+}
+
+// Lemma2Distribution builds a distribution over s+1 bins that satisfies the
+// lemma's hypothesis: p_1 <= ... <= p_{s+1} and p_{s+1} >= 1/2. The first s
+// bins share mass (1 - pLast) in a geometric profile determined by decay
+// (decay = 1 gives equal shares).
+func Lemma2Distribution(s int, pLast, decay float64) []float64 {
+	if s < 0 || pLast < 0.5 || pLast > 1 || decay <= 0 || decay > 1 {
+		panic("lowerbound: invalid Lemma2Distribution parameters")
+	}
+	probs := make([]float64, s+1)
+	probs[s] = pLast
+	if s == 0 {
+		probs[0] = 1
+		return probs
+	}
+	rest := 1 - pLast
+	weight := 0.0
+	w := 1.0
+	for i := 0; i < s; i++ {
+		weight += w
+		w *= decay
+	}
+	w = 1.0
+	for i := s - 1; i >= 0; i-- {
+		probs[i] = rest * w / weight
+		w *= decay
+	}
+	return probs
+}

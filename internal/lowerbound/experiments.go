@@ -1,0 +1,134 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"wsync/internal/adversary"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// FirstClearResult reports one Theorem 1 experiment run.
+type FirstClearResult struct {
+	// Rounds is the round of the first clear broadcast (a lone,
+	// undisrupted transmitter), 0 if none occurred within the budget.
+	Rounds uint64
+	// Happened reports whether a clear broadcast occurred at all.
+	Happened bool
+}
+
+// FirstClear runs the Theorem 1 setting: n nodes all activated in round 1
+// run the regular schedule against the weak adversary disrupting
+// frequencies 1..t forever; the run stops at the first clear broadcast.
+// Any solution to wireless synchronization must produce this event, so its
+// first occurrence lower-bounds synchronization time.
+func FirstClear(reg Regular, n, f, t int, maxRounds uint64, seed uint64) (FirstClearResult, error) {
+	cfg := &sim.Config{
+		F:    f,
+		T:    t,
+		Seed: seed,
+		NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+			return NewAgent(reg, r)
+		},
+		Schedule:       sim.Simultaneous{Count: n},
+		Adversary:      adversary.NewPrefix(f, t),
+		MaxRounds:      maxRounds,
+		RunToMaxRounds: true,
+		StopWhen:       func(h *sim.History) bool { return h.EverClear },
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return FirstClearResult{}, fmt.Errorf("lowerbound: first-clear run: %w", err)
+	}
+	return FirstClearResult{Rounds: res.FirstClear, Happened: res.FirstClear != 0}, nil
+}
+
+// TwoNodeResult reports one Theorem 4 rendezvous game.
+type TwoNodeResult struct {
+	// Rounds counts rounds after the second node awakes until the first
+	// successful rendezvous (one node transmits, the other listens, same
+	// undisrupted frequency); 0 with Met == false if the budget ran out.
+	Rounds uint64
+	Met    bool
+}
+
+// TwoNodeGame plays the Theorem 4 game: nodes u and v follow regular
+// schedules (v awakened offset rounds after u) against the greedy adversary
+// that each round disrupts the t frequencies with the largest product
+// p_j·q_j of the nodes' selection probabilities — the strategy from the
+// Theorem 4 proof. The game ends at the first rendezvous.
+func TwoNodeGame(u, v Regular, f, t int, offset uint64, maxRounds uint64, seed uint64) TwoNodeResult {
+	r := rng.New(seed)
+	ru := r.Split(1)
+	rv := r.Split(2)
+
+	products := make([]float64, f+1)
+	disrupted := make([]bool, f+1)
+
+	for i := uint64(1); i <= maxRounds; i++ {
+		uLocal := offset + i // u has been awake for offset rounds already
+		vLocal := i
+
+		du, dv := u.Dist(uLocal), v.Dist(vLocal)
+		bu, bv := u.TxProb(uLocal), v.TxProb(vLocal)
+
+		// Greedy adversary: block the t largest p_j·q_j products.
+		for j := 1; j <= f; j++ {
+			products[j] = du.Prob(j) * dv.Prob(j)
+			disrupted[j] = false
+		}
+		for k := 0; k < t; k++ {
+			best, bestVal := 0, -1.0
+			for j := 1; j <= f; j++ {
+				if !disrupted[j] && products[j] > bestVal {
+					best, bestVal = j, products[j]
+				}
+			}
+			if best == 0 {
+				break
+			}
+			disrupted[best] = true
+		}
+
+		fu := du.Sample(ru)
+		fv := dv.Sample(rv)
+		txu := ru.Bernoulli(bu)
+		txv := rv.Bernoulli(bv)
+		if fu == fv && txu != txv && !disrupted[fu] {
+			return TwoNodeResult{Rounds: i, Met: true}
+		}
+	}
+	return TwoNodeResult{}
+}
+
+// BestUniformWidth plays the two-node game with UniformRegular{M, 1/2}
+// schedules for every width M in [1..F] and returns the width minimizing
+// the mean rendezvous time, along with the per-width means. It reproduces
+// the Theorem 4 proof's extremal structure: the optimum is near min(F, 2t).
+func BestUniformWidth(f, t int, trials int, maxRounds uint64, seed uint64) (best int, means []float64) {
+	means = make([]float64, f+1)
+	best = 1
+	bestMean := -1.0
+	for m := 1; m <= f; m++ {
+		if m <= t {
+			// Every used frequency can be jammed; rendezvous never happens.
+			means[m] = float64(maxRounds)
+			continue
+		}
+		total := 0.0
+		for i := 0; i < trials; i++ {
+			res := TwoNodeGame(UniformRegular{M: m, P: 0.5}, UniformRegular{M: m, P: 0.5},
+				f, t, 0, maxRounds, seed+uint64(i)*7919+uint64(m))
+			if res.Met {
+				total += float64(res.Rounds)
+			} else {
+				total += float64(maxRounds)
+			}
+		}
+		means[m] = total / float64(trials)
+		if bestMean < 0 || means[m] < bestMean {
+			best, bestMean = m, means[m]
+		}
+	}
+	return best, means
+}

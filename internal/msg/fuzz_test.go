@@ -1,0 +1,86 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Decode never panics and never fabricates success on random
+// bytes — it either errors or returns a message that re-encodes to the
+// same bytes.
+func TestQuickDecodeArbitraryBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		m, err := Decode(data)
+		if err != nil {
+			return true
+		}
+		out, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(data) {
+			return false
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode of a truncation of a valid encoding never succeeds with
+// different content than the original.
+func TestQuickDecodePrefixSafety(t *testing.T) {
+	f := func(age, uid uint64, round uint64, cut uint8) bool {
+		m := Message{Kind: KindLeader, TS: Timestamp{Age: age, UID: uid}, Round: round, Scheme: uid}
+		data, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		n := int(cut) % (len(data) + 1)
+		got, err := Decode(data[:n])
+		if n == len(data) {
+			return err == nil && Equal(got, m)
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of an encoding either errors or
+// decodes to a well-formed message that still round-trips.
+func TestQuickDecodeBitFlips(t *testing.T) {
+	base := Message{
+		Kind:    KindSamaritan,
+		TS:      Timestamp{Age: 42, UID: 99},
+		Reports: []Report{{UID: 1, Count: 2}, {UID: 3, Count: 4}},
+	}
+	data, err := Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos, val uint8) bool {
+		mut := make([]byte, len(data))
+		copy(mut, data)
+		mut[int(pos)%len(mut)] ^= val | 1
+		m, err := Decode(mut)
+		if err != nil {
+			return true
+		}
+		re, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		return len(re) == len(mut)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package msg defines the messages exchanged by the synchronization
+// protocols and their compact binary wire format.
+//
+// The paper's protocols exchange three message classes: contender messages
+// carrying a timestamp (used for the Trapdoor knockout rule), samaritan
+// messages carrying success reports (used by the Good Samaritan protocol),
+// and leader messages carrying the round numbering scheme. A fourth kind,
+// Data, is used by the example applications that build on synchronized
+// rounds.
+//
+// Messages are value types; the simulator copies them by value between
+// sender and receiver, so protocols never share mutable state through the
+// ether. Reports and Payload slices are defensively copied by Clone when a
+// receiver needs to retain them.
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind identifies the class of a message.
+type Kind uint8
+
+// Message kinds. They start at one so that the zero Message is recognizably
+// invalid.
+const (
+	KindContender Kind = iota + 1
+	KindSamaritan
+	KindLeader
+	KindData
+)
+
+// String returns the kind's name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindContender:
+		return "contender"
+	case KindSamaritan:
+		return "samaritan"
+	case KindLeader:
+		return "leader"
+	case KindData:
+		return "data"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Timestamp is the pair (ra, uid) from Section 6: Age is the number of
+// rounds the sender has been active and UID its random unique identifier.
+// Timestamps are ordered lexicographically; an older node (larger Age) has
+// the larger timestamp.
+type Timestamp struct {
+	Age uint64
+	UID uint64
+}
+
+// Compare returns -1, 0, or +1 as t is lexicographically smaller than,
+// equal to, or larger than o.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Age < o.Age:
+		return -1
+	case t.Age > o.Age:
+		return 1
+	case t.UID < o.UID:
+		return -1
+	case t.UID > o.UID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether t orders strictly before o.
+func (t Timestamp) Less(o Timestamp) bool { return t.Compare(o) < 0 }
+
+// String renders the timestamp as (age, uid).
+func (t Timestamp) String() string { return fmt.Sprintf("(ra=%d, uid=%d)", t.Age, t.UID) }
+
+// Report is one samaritan success tally: the samaritan observed Count
+// successful non-special critical-epoch rounds for the contender with the
+// given UID.
+type Report struct {
+	UID   uint64
+	Count uint32
+}
+
+// Message is a single radio transmission payload.
+type Message struct {
+	Kind Kind
+
+	// TS is the sender's timestamp, present on every protocol message.
+	TS Timestamp
+
+	// Round and Scheme describe a leader's numbering: Scheme identifies
+	// the numbering scheme (the leader's UID) and Round is the scheme's
+	// round number for the round in which the message is sent. Only
+	// meaningful when Kind == KindLeader.
+	Round  uint64
+	Scheme uint64
+
+	// Special marks a Good Samaritan special round; Fallback marks a
+	// sender executing the modified-Trapdoor fallback; Epoch and Super
+	// locate the sender inside the Good Samaritan schedule.
+	Special  bool
+	Fallback bool
+	Epoch    uint16
+	Super    uint8
+
+	// Reports carries a samaritan's success tallies. Only meaningful when
+	// Kind == KindSamaritan.
+	Reports []Report
+
+	// Payload is application data for KindData messages.
+	Payload []byte
+}
+
+// Clone returns a deep copy of m; receivers that retain a message beyond the
+// delivery callback should clone it.
+func (m Message) Clone() Message {
+	c := m
+	if m.Reports != nil {
+		c.Reports = make([]Report, len(m.Reports))
+		copy(c.Reports, m.Reports)
+	}
+	if m.Payload != nil {
+		c.Payload = make([]byte, len(m.Payload))
+		copy(c.Payload, m.Payload)
+	}
+	return c
+}
+
+// Wire format constants.
+const (
+	flagSpecial  = 1 << 0
+	flagFallback = 1 << 1
+
+	// MaxReports bounds the reports carried by one samaritan message; the
+	// protocol keeps only the highest tallies. A radio slot is narrowband,
+	// so the message must stay small.
+	MaxReports = 8
+
+	// MaxPayload bounds application data per slot.
+	MaxPayload = 1 << 10
+)
+
+// Encoding errors.
+var (
+	ErrTruncated   = errors.New("msg: truncated message")
+	ErrBadKind     = errors.New("msg: unknown message kind")
+	ErrBadFlags    = errors.New("msg: unknown flag bits")
+	ErrTooManyRep  = errors.New("msg: too many reports")
+	ErrPayloadSize = errors.New("msg: payload too large")
+	ErrTrailing    = errors.New("msg: trailing bytes after message")
+)
+
+// Encode serializes m to a compact binary representation. It returns an
+// error if the message violates the wire-format bounds.
+func Encode(m Message) ([]byte, error) {
+	switch m.Kind {
+	case KindContender, KindSamaritan, KindLeader, KindData:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(m.Kind))
+	}
+	if len(m.Reports) > MaxReports {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyRep, len(m.Reports), MaxReports)
+	}
+	if len(m.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadSize, len(m.Payload), MaxPayload)
+	}
+
+	var flags byte
+	if m.Special {
+		flags |= flagSpecial
+	}
+	if m.Fallback {
+		flags |= flagFallback
+	}
+
+	// kind(1) flags(1) age(8) uid(8) epoch(2) super(1) = 21 fixed bytes,
+	// then kind-specific fields.
+	buf := make([]byte, 0, 21+16+1+len(m.Reports)*12+2+len(m.Payload))
+	buf = append(buf, byte(m.Kind), flags)
+	buf = binary.BigEndian.AppendUint64(buf, m.TS.Age)
+	buf = binary.BigEndian.AppendUint64(buf, m.TS.UID)
+	buf = binary.BigEndian.AppendUint16(buf, m.Epoch)
+	buf = append(buf, m.Super)
+
+	switch m.Kind {
+	case KindLeader:
+		buf = binary.BigEndian.AppendUint64(buf, m.Round)
+		buf = binary.BigEndian.AppendUint64(buf, m.Scheme)
+	case KindSamaritan:
+		buf = append(buf, byte(len(m.Reports)))
+		for _, r := range m.Reports {
+			buf = binary.BigEndian.AppendUint64(buf, r.UID)
+			buf = binary.BigEndian.AppendUint32(buf, r.Count)
+		}
+	case KindData:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Payload)))
+		buf = append(buf, m.Payload...)
+	}
+	return buf, nil
+}
+
+// Decode parses a message previously produced by Encode. It rejects
+// truncated input, unknown kinds, and trailing garbage.
+func Decode(data []byte) (Message, error) {
+	var m Message
+	if len(data) < 21 {
+		return m, ErrTruncated
+	}
+	m.Kind = Kind(data[0])
+	flags := data[1]
+	if flags&^(flagSpecial|flagFallback) != 0 {
+		return Message{}, ErrBadFlags
+	}
+	m.Special = flags&flagSpecial != 0
+	m.Fallback = flags&flagFallback != 0
+	m.TS.Age = binary.BigEndian.Uint64(data[2:])
+	m.TS.UID = binary.BigEndian.Uint64(data[10:])
+	m.Epoch = binary.BigEndian.Uint16(data[18:])
+	m.Super = data[20]
+	rest := data[21:]
+
+	switch m.Kind {
+	case KindContender:
+	case KindLeader:
+		if len(rest) < 16 {
+			return Message{}, ErrTruncated
+		}
+		m.Round = binary.BigEndian.Uint64(rest[0:])
+		m.Scheme = binary.BigEndian.Uint64(rest[8:])
+		rest = rest[16:]
+	case KindSamaritan:
+		if len(rest) < 1 {
+			return Message{}, ErrTruncated
+		}
+		n := int(rest[0])
+		rest = rest[1:]
+		if n > MaxReports {
+			return Message{}, ErrTooManyRep
+		}
+		if len(rest) < n*12 {
+			return Message{}, ErrTruncated
+		}
+		if n > 0 {
+			m.Reports = make([]Report, n)
+			for i := 0; i < n; i++ {
+				m.Reports[i].UID = binary.BigEndian.Uint64(rest[i*12:])
+				m.Reports[i].Count = binary.BigEndian.Uint32(rest[i*12+8:])
+			}
+		}
+		rest = rest[n*12:]
+	case KindData:
+		if len(rest) < 2 {
+			return Message{}, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return Message{}, ErrTruncated
+		}
+		if n > 0 {
+			m.Payload = make([]byte, n)
+			copy(m.Payload, rest[:n])
+		}
+		rest = rest[n:]
+	default:
+		return Message{}, fmt.Errorf("%w: %d", ErrBadKind, data[0])
+	}
+	if len(rest) != 0 {
+		return Message{}, ErrTrailing
+	}
+	return m, nil
+}
+
+// Equal reports whether two messages are semantically identical, including
+// reports and payload contents.
+func Equal(a, b Message) bool {
+	if a.Kind != b.Kind || a.TS != b.TS || a.Round != b.Round || a.Scheme != b.Scheme ||
+		a.Special != b.Special || a.Fallback != b.Fallback || a.Epoch != b.Epoch || a.Super != b.Super {
+		return false
+	}
+	if len(a.Reports) != len(b.Reports) {
+		return false
+	}
+	for i := range a.Reports {
+		if a.Reports[i] != b.Reports[i] {
+			return false
+		}
+	}
+	if len(a.Payload) != len(b.Payload) {
+		return false
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,267 @@
+package msg
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindContender: "contender",
+		KindSamaritan: "samaritan",
+		KindLeader:    "leader",
+		KindData:      "data",
+		Kind(99):      "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}
+
+func TestTimestampOrder(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		cmp  int
+	}{
+		{Timestamp{1, 1}, Timestamp{1, 1}, 0},
+		{Timestamp{1, 1}, Timestamp{2, 1}, -1},
+		{Timestamp{2, 1}, Timestamp{1, 9}, 1},
+		{Timestamp{5, 3}, Timestamp{5, 4}, -1},
+		{Timestamp{5, 4}, Timestamp{5, 3}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.cmp {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.cmp)
+		}
+		if got := c.a.Less(c.b); got != (c.cmp < 0) {
+			t.Errorf("Less(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and total.
+func TestQuickTimestampAntisymmetry(t *testing.T) {
+	f := func(a1, u1, a2, u2 uint64) bool {
+		a := Timestamp{a1, u1}
+		b := Timestamp{a2, u2}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is transitive on a sampled triple.
+func TestQuickTimestampTransitivity(t *testing.T) {
+	f := func(a1, u1, a2, u2, a3, u3 uint8) bool {
+		// Small domain so that equal and ordered triples both occur.
+		a := Timestamp{uint64(a1 % 4), uint64(u1 % 4)}
+		b := Timestamp{uint64(a2 % 4), uint64(u2 % 4)}
+		c := Timestamp{uint64(a3 % 4), uint64(u3 % 4)}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleMessages() []Message {
+	return []Message{
+		{Kind: KindContender, TS: Timestamp{Age: 17, UID: 12345}},
+		{Kind: KindContender, TS: Timestamp{Age: 0, UID: 0}, Special: true, Epoch: 3, Super: 2},
+		{Kind: KindLeader, TS: Timestamp{Age: 900, UID: 77}, Round: 1234, Scheme: 77},
+		{Kind: KindSamaritan, TS: Timestamp{Age: 55, UID: 3}, Reports: []Report{{UID: 9, Count: 4}, {UID: 11, Count: 2}}},
+		{Kind: KindSamaritan, TS: Timestamp{Age: 55, UID: 3}, Reports: nil, Fallback: true},
+		{Kind: KindData, TS: Timestamp{Age: 1, UID: 2}, Payload: []byte("hello radio")},
+		{Kind: KindData, TS: Timestamp{Age: 1, UID: 2}, Payload: []byte{}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for i, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("message %d: Encode: %v", i, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("message %d: Decode: %v", i, err)
+		}
+		// Empty and nil slices are equivalent on the wire.
+		if !Equal(got, m) {
+			t.Fatalf("message %d: round trip mismatch:\n got %+v\nwant %+v", i, got, m)
+		}
+	}
+}
+
+func TestEncodeRejectsBadKind(t *testing.T) {
+	_, err := Encode(Message{Kind: Kind(0)})
+	if !errors.Is(err, ErrBadKind) {
+		t.Fatalf("err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestEncodeRejectsTooManyReports(t *testing.T) {
+	m := Message{Kind: KindSamaritan, Reports: make([]Report, MaxReports+1)}
+	if _, err := Encode(m); !errors.Is(err, ErrTooManyRep) {
+		t.Fatalf("err = %v, want ErrTooManyRep", err)
+	}
+}
+
+func TestEncodeRejectsHugePayload(t *testing.T) {
+	m := Message{Kind: KindData, Payload: make([]byte, MaxPayload+1)}
+	if _, err := Encode(m); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("err = %v, want ErrPayloadSize", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	for _, m := range sampleMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := Decode(data[:cut]); err == nil {
+				t.Fatalf("Decode accepted %d/%d bytes of %v", cut, len(data), m.Kind)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTrailing(t *testing.T) {
+	data, err := Encode(Message{Kind: KindContender, TS: Timestamp{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(data, 0xFF)); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestDecodeRejectsUnknownFlags(t *testing.T) {
+	data, err := Encode(Message{Kind: KindContender})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[1] |= 0x80
+	if _, err := Decode(data); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("err = %v, want ErrBadFlags", err)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	data, err := Encode(Message{Kind: KindContender})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 200
+	if _, err := Decode(data); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Message{
+		Kind:    KindSamaritan,
+		Reports: []Report{{UID: 1, Count: 1}},
+		Payload: []byte{1, 2, 3},
+	}
+	c := m.Clone()
+	c.Reports[0].Count = 99
+	c.Payload[0] = 99
+	if m.Reports[0].Count == 99 || m.Payload[0] == 99 {
+		t.Fatal("Clone shares backing arrays with original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Message{Kind: KindLeader, Round: 5, Scheme: 6}
+	b := a
+	if !Equal(a, b) {
+		t.Fatal("identical messages unequal")
+	}
+	b.Round = 7
+	if Equal(a, b) {
+		t.Fatal("different rounds equal")
+	}
+	c := Message{Kind: KindSamaritan, Reports: []Report{{1, 2}}}
+	d := Message{Kind: KindSamaritan, Reports: []Report{{1, 3}}}
+	if Equal(c, d) {
+		t.Fatal("different reports equal")
+	}
+}
+
+// Property: any message built from arbitrary small fields round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(kindSel uint8, age, uid, round, scheme uint64, special, fallback bool,
+		epoch uint16, super uint8, repUIDs []uint64, payload []byte) bool {
+		kinds := []Kind{KindContender, KindSamaritan, KindLeader, KindData}
+		m := Message{
+			Kind:     kinds[int(kindSel)%len(kinds)],
+			TS:       Timestamp{Age: age, UID: uid},
+			Special:  special,
+			Fallback: fallback,
+			Epoch:    epoch,
+			Super:    super,
+		}
+		switch m.Kind {
+		case KindLeader:
+			m.Round, m.Scheme = round, scheme
+		case KindSamaritan:
+			if len(repUIDs) > MaxReports {
+				repUIDs = repUIDs[:MaxReports]
+			}
+			for i, u := range repUIDs {
+				m.Reports = append(m.Reports, Report{UID: u, Count: uint32(i)})
+			}
+		case KindData:
+			if len(payload) > MaxPayload {
+				payload = payload[:MaxPayload]
+			}
+			m.Payload = payload
+		}
+		data, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return Equal(got, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeContender(b *testing.B) {
+	m := Message{Kind: KindContender, TS: Timestamp{Age: 100, UID: 424242}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSamaritan(b *testing.B) {
+	m := Message{Kind: KindSamaritan, Reports: []Report{{1, 2}, {3, 4}, {5, 6}}}
+	data, err := Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

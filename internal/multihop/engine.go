@@ -1,0 +1,196 @@
+package multihop
+
+import (
+	"errors"
+	"fmt"
+
+	"wsync/internal/freqset"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// Config describes one multi-hop simulation. It reuses the single-hop
+// model's agents, schedules, and adversaries; only medium resolution
+// changes.
+type Config struct {
+	// F is the number of frequencies; T the adversary's per-round budget.
+	F int
+	T int
+	// Seed drives all randomness.
+	Seed uint64
+	// Topology is the communication graph (its N is the node count).
+	Topology *Topology
+	// NewAgent constructs node i's protocol instance.
+	NewAgent func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent
+	// Schedule determines activation rounds; nil means all in round 1.
+	Schedule sim.Schedule
+	// Adversary jams frequencies network-wide; nil means none.
+	Adversary sim.Adversary
+	// MaxRounds bounds the run (0 = sim default).
+	MaxRounds uint64
+	// RunToMax disables the all-synced stop rule.
+	RunToMax bool
+	// StopWhen, if non-nil, ends the run when it returns true (checked
+	// after every round, in addition to the default rule). Closures
+	// typically inspect retained agent references.
+	StopWhen func(round uint64) bool
+}
+
+// Result reports a multi-hop run.
+type Result struct {
+	Rounds       uint64
+	AllSynced    bool
+	SyncRound    []uint64 // global round of first non-⊥ output per node
+	Leaders      int
+	Deliveries   uint64
+	Collisions   uint64 // per (receiver, round): >= 2 transmitting neighbors on its frequency
+	HitMaxRounds bool
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.F < 1:
+		return fmt.Errorf("multihop: F = %d", c.F)
+	case c.T < 0 || c.T >= c.F:
+		return fmt.Errorf("multihop: T = %d out of [0, F)", c.T)
+	case c.Topology == nil || c.Topology.N() < 1:
+		return errors.New("multihop: topology required")
+	case c.NewAgent == nil:
+		return errors.New("multihop: NewAgent required")
+	}
+	if c.Schedule != nil && c.Schedule.N() != c.Topology.N() {
+		return fmt.Errorf("multihop: schedule covers %d nodes, topology has %d",
+			c.Schedule.N(), c.Topology.N())
+	}
+	return nil
+}
+
+// Run executes the simulation. Semantics per round: every active node
+// picks (frequency, transmit/listen); a listener u receives iff exactly
+// one neighbor of u transmitted on u's frequency and the adversary did not
+// jam it.
+func Run(c *Config) (*Result, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	n := c.Topology.N()
+	maxRounds := c.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+
+	master := rng.New(c.Seed)
+	agents := make([]sim.Agent, n)
+	activation := make([]uint64, n)
+	active := make([]bool, n)
+	actions := make([]sim.Action, n)
+	pending := make([]msg.Message, n)
+	hasPending := make([]bool, n)
+	for i := 0; i < n; i++ {
+		activation[i] = 1
+		if c.Schedule != nil {
+			activation[i] = c.Schedule.ActivationRound(i)
+			if activation[i] < 1 {
+				return nil, fmt.Errorf("multihop: node %d activation %d", i, activation[i])
+			}
+		}
+	}
+
+	res := &Result{SyncRound: make([]uint64, n)}
+	hist := &sim.History{F: c.F, Activated: make([]uint64, n), Received: make([]bool, n)}
+	empty := freqset.New(c.F)
+	synced := 0
+
+	for r := uint64(1); r <= maxRounds; r++ {
+		for i := 0; i < n; i++ {
+			if !active[i] && activation[i] == r {
+				active[i] = true
+				agents[i] = c.NewAgent(sim.NodeID(i), r, master.Split(uint64(i)))
+				hist.Activated[i] = r
+			}
+		}
+		disrupted := empty
+		if c.Adversary != nil {
+			if s := c.Adversary.Disrupt(r, hist); s != nil {
+				if s.Len() > c.T {
+					panic(fmt.Sprintf("multihop: adversary jammed %d > %d", s.Len(), c.T))
+				}
+				disrupted = s
+			}
+		}
+		for i := 0; i < n; i++ {
+			if active[i] {
+				actions[i] = agents[i].Step(r - activation[i] + 1)
+				if actions[i].Freq < 1 || actions[i].Freq > c.F {
+					panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, actions[i].Freq))
+				}
+			}
+		}
+
+		// Per-receiver resolution over neighborhoods.
+		for i := 0; i < n; i++ {
+			hasPending[i] = false
+			if !active[i] || actions[i].Transmit {
+				continue
+			}
+			f := actions[i].Freq
+			txNeighbor := -1
+			txCount := 0
+			for _, w := range c.Topology.Neighbors(i) {
+				if active[w] && actions[w].Transmit && actions[w].Freq == f {
+					txCount++
+					txNeighbor = w
+				}
+			}
+			switch {
+			case txCount == 0:
+			case txCount >= 2:
+				res.Collisions++
+			case disrupted.Contains(f):
+				// jammed: nothing heard
+			default:
+				pending[i] = actions[txNeighbor].Msg
+				hasPending[i] = true
+				hist.Received[i] = true
+				res.Deliveries++
+			}
+		}
+		for i := 0; i < n; i++ {
+			if hasPending[i] {
+				agents[i].Deliver(pending[i])
+			}
+		}
+		allUp := true
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				allUp = false
+				continue
+			}
+			if res.SyncRound[i] == 0 {
+				if out := agents[i].Output(); out.Synced {
+					res.SyncRound[i] = r
+					synced++
+				}
+			}
+		}
+		hist.Completed = r
+		res.Rounds = r
+		if c.StopWhen != nil && c.StopWhen(r) {
+			break
+		}
+		if !c.RunToMax && allUp && synced == n {
+			break
+		}
+	}
+	res.AllSynced = synced == n
+	res.HitMaxRounds = res.Rounds == maxRounds && !res.AllSynced
+	for i := 0; i < n; i++ {
+		if agents[i] != nil {
+			if lr, ok := agents[i].(sim.LeaderReporter); ok && lr.IsLeader() {
+				res.Leaders++
+			}
+		}
+	}
+	return res, nil
+}

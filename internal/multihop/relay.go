@@ -1,0 +1,123 @@
+package multihop
+
+import (
+	"wsync/internal/core"
+	"wsync/internal/freqdist"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+	"wsync/internal/trapdoor"
+)
+
+// RelayNode extends the Trapdoor Protocol across hops. It behaves exactly
+// like a single-hop Trapdoor node until it holds a numbering (by winning
+// its regional competition or adopting a neighbor's), then turns into a
+// relay: each round it re-announces the numbering with probability 1/2 on
+// a random competition channel. Because distant regions can elect
+// independent leaders, relays merge conflicting schemes by adopting the
+// numerically larger scheme identifier; the connected component therefore
+// converges on a single numbering in time proportional to its diameter
+// (experiment X7).
+type RelayNode struct {
+	inner *trapdoor.Node
+	r     *rng.Rand
+	dist  freqdist.Uniform
+	age   uint64
+	uid   uint64
+
+	relaying bool
+	out      core.OutputState
+	scheme   uint64
+}
+
+var (
+	_ sim.Agent          = (*RelayNode)(nil)
+	_ sim.LeaderReporter = (*RelayNode)(nil)
+)
+
+// NewRelay builds a multi-hop relay node over Trapdoor parameters.
+func NewRelay(p trapdoor.Params, r *rng.Rand) (*RelayNode, error) {
+	inner, err := trapdoor.New(p, r)
+	if err != nil {
+		return nil, err
+	}
+	return &RelayNode{
+		inner: inner,
+		r:     r,
+		dist:  freqdist.NewUniform(1, p.FPrime()),
+		uid:   inner.UID(),
+	}, nil
+}
+
+// MustNewRelay panics on invalid parameters.
+func MustNewRelay(p trapdoor.Params, r *rng.Rand) *RelayNode {
+	n, err := NewRelay(p, r)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Scheme returns the numbering scheme currently followed.
+func (n *RelayNode) Scheme() uint64 {
+	if n.relaying {
+		return n.scheme
+	}
+	return n.inner.Scheme()
+}
+
+// IsLeader reports whether this node's own competition victory created the
+// numbering it follows.
+func (n *RelayNode) IsLeader() bool { return n.inner.IsLeader() }
+
+// Step implements sim.Agent.
+func (n *RelayNode) Step(local uint64) sim.Action {
+	n.age = local
+	if !n.relaying {
+		act := n.inner.Step(local)
+		if out := n.inner.Output(); out.Synced {
+			// Graduate to relaying; carry the numbering over.
+			n.relaying = true
+			n.scheme = n.inner.Scheme()
+			n.out.Adopt(out.Value)
+		}
+		return act
+	}
+	n.out.Tick()
+	f := n.dist.Sample(n.r)
+	if n.r.Bool() {
+		return sim.Action{
+			Freq:     f,
+			Transmit: true,
+			Msg: msg.Message{
+				Kind:   msg.KindLeader,
+				TS:     msg.Timestamp{Age: n.age, UID: n.uid},
+				Round:  n.out.Value(),
+				Scheme: n.scheme,
+			},
+		}
+	}
+	return sim.Action{Freq: f}
+}
+
+// Deliver implements sim.Agent: before relaying, the inner protocol rules
+// apply; afterwards, leader announcements with a larger scheme identifier
+// replace the current numbering (the merge rule).
+func (n *RelayNode) Deliver(m msg.Message) {
+	if !n.relaying {
+		n.inner.Deliver(m)
+		return
+	}
+	if m.Kind == msg.KindLeader && m.Scheme > n.scheme {
+		n.scheme = m.Scheme
+		n.out.Adopt(m.Round)
+	}
+}
+
+// Output implements sim.Agent.
+func (n *RelayNode) Output() sim.Output {
+	if !n.relaying {
+		return n.inner.Output()
+	}
+	return sim.Output{Value: n.out.Value(), Synced: true}
+}

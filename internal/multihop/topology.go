@@ -1,0 +1,196 @@
+// Package multihop extends the disrupted radio network model to multi-hop
+// topologies, exploring the paper's closing open question ("how our
+// results can be adapted to multiple hops").
+//
+// The medium generalizes Section 2 per receiver: a node u listening on
+// frequency f receives a message iff exactly one of u's NEIGHBORS
+// transmits on f and f is not disrupted. Non-neighbors neither deliver nor
+// interfere; two transmitting neighbors collide at u even if they cannot
+// hear each other (the hidden-terminal effect). The adversary jams up to t
+// frequencies per round network-wide.
+//
+// On top of the engine, RelayNode extends the Trapdoor Protocol across
+// hops: nodes compete locally exactly as in the single-hop protocol, and
+// every node that adopts a numbering becomes a relay that re-announces it.
+// Conflicting schemes from independent regional elections are merged by
+// adopting the scheme with the larger identifier, so the whole connected
+// component converges to one numbering; time grows with network diameter
+// (measured in experiment X7). Scheme switches can step a node's round
+// number — genuine multi-hop synchronization with the paper's full
+// guarantees remains the open problem; see the package tests for what is
+// and is not promised.
+package multihop
+
+import (
+	"fmt"
+	"math"
+
+	"wsync/internal/rng"
+)
+
+// Topology is an undirected communication graph over nodes 0..N-1.
+type Topology struct {
+	n   int
+	adj [][]int
+}
+
+// N returns the node count.
+func (t *Topology) N() int { return t.n }
+
+// Neighbors returns node i's neighbor list (shared slice; do not mutate).
+func (t *Topology) Neighbors(i int) []int { return t.adj[i] }
+
+// Degree returns node i's degree.
+func (t *Topology) Degree(i int) int { return len(t.adj[i]) }
+
+// newTopology allocates an empty graph.
+func newTopology(n int) *Topology {
+	return &Topology{n: n, adj: make([][]int, n)}
+}
+
+// addEdge inserts the undirected edge (a, b) once.
+func (t *Topology) addEdge(a, b int) {
+	for _, x := range t.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	t.adj[a] = append(t.adj[a], b)
+	t.adj[b] = append(t.adj[b], a)
+}
+
+// Line returns the path topology 0—1—…—n−1 (diameter n−1).
+func Line(n int) *Topology {
+	if n < 1 {
+		panic("multihop: Line needs n >= 1")
+	}
+	t := newTopology(n)
+	for i := 0; i+1 < n; i++ {
+		t.addEdge(i, i+1)
+	}
+	return t
+}
+
+// Grid returns the w×h grid topology with 4-neighborhoods.
+func Grid(w, h int) *Topology {
+	if w < 1 || h < 1 {
+		panic("multihop: Grid needs positive dimensions")
+	}
+	t := newTopology(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				t.addEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				t.addEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return t
+}
+
+// Clique returns the complete graph — the single-hop special case, used to
+// validate the engine against the single-hop simulator's semantics.
+func Clique(n int) *Topology {
+	if n < 1 {
+		panic("multihop: Clique needs n >= 1")
+	}
+	t := newTopology(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.addEdge(i, j)
+		}
+	}
+	return t
+}
+
+// RandomGeometric places n nodes uniformly in the unit square and connects
+// pairs within the given radius. Deterministic in seed.
+func RandomGeometric(n int, radius float64, seed uint64) *Topology {
+	if n < 1 || radius <= 0 {
+		panic("multihop: RandomGeometric needs n >= 1 and radius > 0")
+	}
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	t := newTopology(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if math.Sqrt(dx*dx+dy*dy) <= radius {
+				t.addEdge(i, j)
+			}
+		}
+	}
+	return t
+}
+
+// Connected reports whether the graph has a single connected component.
+func (t *Topology) Connected() bool {
+	if t.n == 0 {
+		return true
+	}
+	seen := make([]bool, t.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range t.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == t.n
+}
+
+// Diameter returns the longest shortest path in hops (0 for a single node;
+// it panics on disconnected graphs, which have no diameter).
+func (t *Topology) Diameter() int {
+	if !t.Connected() {
+		panic("multihop: Diameter of disconnected graph")
+	}
+	best := 0
+	dist := make([]int, t.n)
+	queue := make([]int, 0, t.n)
+	for s := 0; s < t.n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range t.adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					if dist[w] > best {
+						best = dist[w]
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// String summarizes the topology.
+func (t *Topology) String() string {
+	edges := 0
+	for i := range t.adj {
+		edges += len(t.adj[i])
+	}
+	return fmt.Sprintf("topology(n=%d, edges=%d)", t.n, edges/2)
+}

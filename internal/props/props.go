@@ -1,0 +1,177 @@
+// Package props verifies, over a running execution, the five correctness
+// properties of the wireless synchronization problem (Section 3 of the
+// paper):
+//
+//  1. Validity — every activated node outputs a value in N⊥ each round.
+//     This holds structurally in the simulator (outputs are (uint64, ⊥)),
+//     so the checker records it implicitly.
+//  2. Synch Commit — once a node outputs a non-⊥ value it never outputs ⊥
+//     again.
+//  3. Correctness — a node outputting i in round r outputs i+1 in round
+//     r+1.
+//  4. Agreement — all non-⊥ outputs in a round are equal.
+//  5. Liveness — eventually every active node stops outputting ⊥; the
+//     checker reports it from the run's final state.
+//
+// The Checker is a sim.Observer: attach it to a Config and inspect it after
+// the run. It verifies streams without retaining the execution, so it is
+// cheap enough to attach to every experiment.
+package props
+
+import (
+	"fmt"
+
+	"wsync/internal/sim"
+)
+
+// Kind classifies a property violation.
+type Kind uint8
+
+// Violation kinds.
+const (
+	KindCommit Kind = iota + 1
+	KindCorrectness
+	KindAgreement
+)
+
+// String names the violation kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCommit:
+		return "synch-commit"
+	case KindCorrectness:
+		return "correctness"
+	case KindAgreement:
+		return "agreement"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Violation describes one observed property violation.
+type Violation struct {
+	Kind   Kind
+	Round  uint64
+	Node   sim.NodeID
+	Detail string
+}
+
+// String renders the violation for logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d node %d: %s: %s", v.Round, v.Node, v.Kind, v.Detail)
+}
+
+// maxViolations bounds retained violations so a badly broken protocol does
+// not exhaust memory; the count keeps incrementing past the cap.
+const maxViolations = 64
+
+// Checker is a streaming verifier of the synchronization properties.
+// Attach with Config.Observers; not safe for concurrent use by multiple
+// engines.
+type Checker struct {
+	last       []sim.Output
+	have       []bool
+	violations []Violation
+	count      int
+
+	lastRound     uint64
+	everSynced    bool
+	syncedCount   int
+	observedNodes int
+}
+
+var _ sim.Observer = (*Checker)(nil)
+
+// NewChecker returns a checker for an n-node simulation.
+func NewChecker(n int) *Checker {
+	return &Checker{
+		last: make([]sim.Output, n),
+		have: make([]bool, n),
+	}
+}
+
+func (c *Checker) record(v Violation) {
+	c.count++
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, v)
+	}
+}
+
+// ObserveRound checks the round's outputs against the previous round's.
+func (c *Checker) ObserveRound(rec *sim.RoundRecord) {
+	c.lastRound = rec.Round
+	agreeSet := false
+	var agreeVal uint64
+	var agreeNode sim.NodeID
+	synced := 0
+	for i, out := range rec.Outputs {
+		id := sim.NodeID(i)
+		if out.Synced {
+			synced++
+			c.everSynced = true
+			// Agreement: all non-⊥ outputs equal within the round.
+			if !agreeSet {
+				agreeSet = true
+				agreeVal = out.Value
+				agreeNode = id
+			} else if out.Value != agreeVal {
+				c.record(Violation{
+					Kind: KindAgreement, Round: rec.Round, Node: id,
+					Detail: fmt.Sprintf("outputs %d but node %d outputs %d", out.Value, agreeNode, agreeVal),
+				})
+			}
+		}
+		if c.have[i] {
+			prev := c.last[i]
+			if prev.Synced && !out.Synced {
+				c.record(Violation{
+					Kind: KindCommit, Round: rec.Round, Node: id,
+					Detail: fmt.Sprintf("reverted to ⊥ after outputting %d", prev.Value),
+				})
+			}
+			if prev.Synced && out.Synced && out.Value != prev.Value+1 {
+				c.record(Violation{
+					Kind: KindCorrectness, Round: rec.Round, Node: id,
+					Detail: fmt.Sprintf("output %d follows %d, want %d", out.Value, prev.Value, prev.Value+1),
+				})
+			}
+		}
+		c.last[i] = out
+		c.have[i] = true
+	}
+	c.syncedCount = synced
+	c.observedNodes = len(rec.Outputs)
+}
+
+// OK reports whether no violation has been observed.
+func (c *Checker) OK() bool { return c.count == 0 }
+
+// Count returns the total number of violations observed (including those
+// beyond the retention cap).
+func (c *Checker) Count() int { return c.count }
+
+// Violations returns the retained violations (up to an internal cap).
+func (c *Checker) Violations() []Violation {
+	out := make([]Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// Live reports the liveness outcome: whether every node had a non-⊥ output
+// in the final observed round.
+func (c *Checker) Live() bool {
+	return c.observedNodes > 0 && c.syncedCount == c.observedNodes
+}
+
+// SyncedCount returns how many nodes were synced in the final round.
+func (c *Checker) SyncedCount() int { return c.syncedCount }
+
+// Summary renders a one-line verdict for CLI output.
+func (c *Checker) Summary() string {
+	if c.OK() {
+		return fmt.Sprintf("properties OK through round %d (%d/%d nodes synced)",
+			c.lastRound, c.syncedCount, c.observedNodes)
+	}
+	return fmt.Sprintf("%d violations through round %d (first: %s)",
+		c.count, c.lastRound, c.violations[0])
+}

@@ -1,0 +1,156 @@
+package props
+
+import (
+	"strings"
+	"testing"
+
+	"wsync/internal/sim"
+)
+
+// feed runs the checker over a matrix of outputs: rounds[r][i] is node i's
+// output in round r+1.
+func feed(c *Checker, rounds [][]sim.Output) {
+	for r, outs := range rounds {
+		c.ObserveRound(&sim.RoundRecord{Round: uint64(r + 1), Outputs: outs})
+	}
+}
+
+func o(v uint64) sim.Output { return sim.Output{Value: v, Synced: true} }
+func bot() sim.Output       { return sim.Output{} }
+
+func TestCleanExecution(t *testing.T) {
+	c := NewChecker(2)
+	feed(c, [][]sim.Output{
+		{bot(), bot()},
+		{o(10), bot()},
+		{o(11), o(11)},
+		{o(12), o(12)},
+	})
+	if !c.OK() {
+		t.Fatalf("clean execution flagged: %v", c.Violations())
+	}
+	if !c.Live() {
+		t.Fatal("liveness not detected")
+	}
+	if c.SyncedCount() != 2 {
+		t.Fatalf("SyncedCount = %d", c.SyncedCount())
+	}
+	if !strings.Contains(c.Summary(), "OK") {
+		t.Fatalf("Summary = %q", c.Summary())
+	}
+}
+
+func TestCommitViolation(t *testing.T) {
+	c := NewChecker(1)
+	feed(c, [][]sim.Output{
+		{o(5)},
+		{bot()},
+	})
+	if c.OK() {
+		t.Fatal("revert to ⊥ not flagged")
+	}
+	vs := c.Violations()
+	if len(vs) != 1 || vs[0].Kind != KindCommit {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Round != 2 || vs[0].Node != 0 {
+		t.Fatalf("violation location = %+v", vs[0])
+	}
+}
+
+func TestCorrectnessViolation(t *testing.T) {
+	c := NewChecker(1)
+	feed(c, [][]sim.Output{
+		{o(5)},
+		{o(7)}, // skipped 6
+	})
+	if c.OK() {
+		t.Fatal("skip not flagged")
+	}
+	if got := c.Violations()[0].Kind; got != KindCorrectness {
+		t.Fatalf("kind = %v", got)
+	}
+	// Stalling is also a violation.
+	c2 := NewChecker(1)
+	feed(c2, [][]sim.Output{{o(5)}, {o(5)}})
+	if c2.OK() {
+		t.Fatal("stall not flagged")
+	}
+}
+
+func TestAgreementViolation(t *testing.T) {
+	c := NewChecker(3)
+	feed(c, [][]sim.Output{
+		{o(4), bot(), o(9)},
+	})
+	if c.OK() {
+		t.Fatal("disagreement not flagged")
+	}
+	v := c.Violations()[0]
+	if v.Kind != KindAgreement || v.Node != 2 {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestAgreementIgnoresBottom(t *testing.T) {
+	c := NewChecker(3)
+	feed(c, [][]sim.Output{
+		{bot(), o(4), bot()},
+		{bot(), o(5), o(5)},
+	})
+	if !c.OK() {
+		t.Fatalf("⊥ treated as disagreement: %v", c.Violations())
+	}
+}
+
+func TestLivenessNegative(t *testing.T) {
+	c := NewChecker(2)
+	feed(c, [][]sim.Output{
+		{o(1), bot()},
+	})
+	if c.Live() {
+		t.Fatal("liveness reported with an unsynced node")
+	}
+}
+
+func TestViolationCap(t *testing.T) {
+	c := NewChecker(1)
+	rounds := make([][]sim.Output, 200)
+	for i := range rounds {
+		rounds[i] = []sim.Output{o(uint64(1000 - i))} // decrements: always wrong
+	}
+	feed(c, rounds)
+	if c.Count() != 199 {
+		t.Fatalf("Count = %d, want 199", c.Count())
+	}
+	if len(c.Violations()) > maxViolations {
+		t.Fatalf("retained %d violations, cap is %d", len(c.Violations()), maxViolations)
+	}
+	if !strings.Contains(c.Summary(), "violations") {
+		t.Fatalf("Summary = %q", c.Summary())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindCommit:      "synch-commit",
+		KindCorrectness: "correctness",
+		KindAgreement:   "agreement",
+		Kind(42):        "kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: KindAgreement, Round: 7, Node: 3, Detail: "x"}
+	s := v.String()
+	for _, frag := range []string{"round 7", "node 3", "agreement", "x"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

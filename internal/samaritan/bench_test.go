@@ -1,0 +1,17 @@
+package samaritan
+
+import (
+	"testing"
+
+	"wsync/internal/rng"
+)
+
+// BenchmarkNodeStep measures the per-round cost of one contender across
+// the optimistic schedule.
+func BenchmarkNodeStep(b *testing.B) {
+	n := MustNew(Params{N: 64, F: 16, T: 8}, rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Step(uint64(i) + 1)
+	}
+}

@@ -1,0 +1,156 @@
+package samaritan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wsync/internal/adversary"
+	"wsync/internal/core"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// Property: for arbitrary valid parameters the Figure 2 schedule is well
+// formed — lgF super-epochs of lgN+2 epochs, epoch length doubling per
+// super-epoch, probability ramp capped at 1/2, and positive thresholds.
+func TestQuickScheduleWellFormed(t *testing.T) {
+	prop := func(nRaw uint16, fRaw, tRaw uint8) bool {
+		n := int(nRaw%512) + 2
+		f := int(fRaw%32) + 1
+		tj := int(tRaw) % (f/2 + 1)
+		if tj >= f {
+			tj = 0
+		}
+		p := Params{N: n, F: f, T: tj}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		rows := p.Schedule()
+		if len(rows) != p.LgF()*p.EpochsPerSuper() {
+			return false
+		}
+		for _, row := range rows {
+			if row.Length < 1 || row.Prob <= 0 || row.Prob > 0.5 {
+				return false
+			}
+			if row.NarrowBand < 1 || row.NarrowBand > f {
+				return false
+			}
+		}
+		for k := 1; k <= p.LgF(); k++ {
+			if p.EpochLen(k) < 1 || p.SuccessThreshold(k) < 1 {
+				return false
+			}
+			if k > 1 && p.EpochLen(k) != 2*p.EpochLen(k-1) {
+				return false
+			}
+		}
+		return p.FallbackEpochLen() >= 4*p.EpochLen(p.LgF())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// contenderCensus tracks the protocol invariant that drives liveness: the
+// population always contains at least one node still competing (contender,
+// fallback contender, or leader) or already synced. A transmitting
+// contender cannot be downgraded in the round it transmits, samaritan
+// messages never downgrade contenders, and fallback contenders are only
+// knocked out by larger timestamps — so the competition can never empty
+// out.
+func TestCompetitionNeverEmpties(t *testing.T) {
+	configs := []struct {
+		n, f, tj int
+		gap      uint64
+		seed     uint64
+	}{
+		{3, 4, 2, 0, 1},
+		{4, 8, 4, 0, 2},
+		{4, 4, 2, 700, 3},
+		{2, 8, 4, 2500, 4},
+	}
+	for _, c := range configs {
+		p := Params{N: 8, F: c.f, T: c.tj, CEpoch: 2}
+		nodes := make([]*Node, c.n)
+		violated := uint64(0)
+		census := funcObserver{fn: func(rec *sim.RoundRecord) {
+			alive := false
+			for _, n := range nodes {
+				if n == nil {
+					continue
+				}
+				switch n.Role() {
+				case core.RoleContender, core.RoleFallback, core.RoleLeader, core.RoleSynced:
+					alive = true
+				}
+			}
+			// Only meaningful once at least one node is active.
+			anyActive := false
+			for _, n := range nodes {
+				if n != nil {
+					anyActive = true
+				}
+			}
+			if anyActive && !alive && violated == 0 {
+				violated = rec.Round
+			}
+		}}
+		var sched sim.Schedule = sim.Simultaneous{Count: c.n}
+		if c.gap > 0 {
+			sched = sim.Staggered{Count: c.n, Gap: c.gap}
+		}
+		cfg := &sim.Config{
+			F:    c.f,
+			T:    c.tj,
+			Seed: c.seed,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				n := MustNew(p, r)
+				nodes[id] = n
+				return n
+			},
+			Schedule:  sched,
+			Adversary: adversary.NewRandom(c.f, c.tj, c.seed+5),
+			MaxRounds: 2_000_000,
+			Observers: []sim.Observer{census},
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violated != 0 {
+			t.Fatalf("config %+v: competition emptied at round %d", c, violated)
+		}
+		if !res.AllSynced {
+			t.Fatalf("config %+v: not synced after %d rounds", c, res.Stats.Rounds)
+		}
+	}
+}
+
+type funcObserver struct{ fn func(rec *sim.RoundRecord) }
+
+func (f funcObserver) ObserveRound(rec *sim.RoundRecord) { f.fn(rec) }
+
+// Property: BroadcastProb stays within [0, 1] and silent roles stay silent
+// throughout a full protocol lifetime.
+func TestQuickBroadcastProbBounds(t *testing.T) {
+	prop := func(seed uint64) bool {
+		p := Params{N: 4, F: 4, T: 2, CEpoch: 1, EpochLogPower: 1}
+		n := MustNew(p, rng.New(seed))
+		horizon := p.OptimisticRounds() + uint64(p.LgN())*p.FallbackEpochLen() + 100
+		for r := uint64(1); r <= horizon; r++ {
+			prob := n.BroadcastProb()
+			if prob < 0 || prob > 1 {
+				return false
+			}
+			act := n.Step(r)
+			if prob == 0 && act.Transmit {
+				return false
+			}
+		}
+		return n.IsLeader() // a lone node must win via the fallback
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

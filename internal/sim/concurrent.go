@@ -1,0 +1,130 @@
+package sim
+
+import "sync"
+
+// phase identifies the two barrier-separated parts of a round executed by
+// worker goroutines.
+type phase int
+
+const (
+	phaseStep phase = iota + 1
+	phaseDeliver
+)
+
+type workerCmd struct {
+	phase phase
+	round uint64
+}
+
+// RunConcurrent executes the simulation with node agents distributed over
+// worker goroutines (cfg.Workers of them; 0 means one per node, the
+// goroutine-per-agent mapping). The execution is deterministic and produces
+// exactly the same Result as Run for the same Config: agents only ever
+// touch per-node state, and medium resolution happens on the coordinating
+// goroutine between two barriers.
+//
+// cfg.NewAgent may be invoked from worker goroutines, concurrently for
+// distinct node IDs.
+func RunConcurrent(cfg *Config) (*Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 || workers > e.n {
+		workers = e.n
+	}
+
+	outScratch := make([]Output, e.n)
+	cmds := make([]chan workerCmd, workers)
+	done := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+
+	runWorker := func(w int, cmdC chan workerCmd) {
+		defer wg.Done()
+		// Worker w owns nodes i with i % workers == w. All slices are
+		// indexed per node, so writes are disjoint across workers; the
+		// channel operations order them against the coordinator's reads.
+		for cmd := range cmdC {
+			switch cmd.phase {
+			case phaseStep:
+				for i := w; i < e.n; i += workers {
+					if !e.active[i] {
+						if e.activation[i] != cmd.round {
+							continue
+						}
+						e.active[i] = true
+						e.agents[i] = e.cfg.NewAgent(NodeID(i), cmd.round, e.agentRNG[i])
+					}
+					e.probeWeight(i)
+					e.actions[i] = e.agents[i].Step(cmd.round - e.activation[i] + 1)
+				}
+			case phaseDeliver:
+				for i := w; i < e.n; i += workers {
+					if !e.active[i] {
+						continue
+					}
+					if e.hasPending[i] {
+						e.agents[i].Deliver(e.pending[i])
+					}
+					outScratch[i] = e.agents[i].Output()
+				}
+			}
+			done <- struct{}{}
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		cmds[w] = make(chan workerCmd)
+		wg.Add(1)
+		go runWorker(w, cmds[w])
+	}
+	stopWorkers := func() {
+		for _, c := range cmds {
+			close(c)
+		}
+		wg.Wait()
+	}
+	defer stopWorkers()
+
+	barrier := func(cmd workerCmd) {
+		for _, c := range cmds {
+			c <- cmd
+		}
+		for range cmds {
+			<-done
+		}
+	}
+
+	limit := e.maxRounds()
+	for r := uint64(1); r <= limit; r++ {
+		// Activation bookkeeping happens here so the adversary's history
+		// view is current; agent construction happens in workers.
+		for i := 0; i < e.n; i++ {
+			if e.hist.Activated[i] == 0 && e.activation[i] == r {
+				e.hist.Activated[i] = r
+				e.activatedCount++
+			}
+		}
+		disrupted := e.disruptedSet(r)
+		barrier(workerCmd{phase: phaseStep, round: r})
+		e.resolve(r, disrupted)
+		barrier(workerCmd{phase: phaseDeliver, round: r})
+		for i := 0; i < e.n; i++ {
+			if !e.active[i] {
+				e.rec.Outputs[i] = Output{}
+				continue
+			}
+			out := outScratch[i]
+			e.rec.Outputs[i] = out
+			if out.Synced && e.res.SyncRound[i] == 0 {
+				e.res.SyncRound[i] = r
+				e.syncedCount++
+			}
+		}
+		if e.observeAndCheckStop(r) {
+			return e.finalize(false), nil
+		}
+	}
+	return e.finalize(true), nil
+}

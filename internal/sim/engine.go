@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"fmt"
+
+	"wsync/internal/freqset"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+)
+
+// engine holds the state shared by the sequential and concurrent run modes.
+// The two modes differ only in how per-node Step and Deliver calls are
+// dispatched; resolution of the medium is identical and order-independent.
+type engine struct {
+	cfg *Config
+	n   int
+
+	agents        []Agent  // nil until activation
+	activation    []uint64 // per node
+	agentRNG      []*rng.Rand
+	maxActivation uint64
+
+	actions []Action // per node, valid for active nodes each round
+	active  []bool   // per node
+
+	// pending delivery per node for the current round
+	pending    []msg.Message
+	hasPending []bool
+
+	// per-frequency scratch (index 1..F)
+	txCount []int
+	txFrom  []NodeID
+
+	emptySet *freqset.Set
+
+	hist History
+	rec  RoundRecord
+	res  Result
+
+	syncedCount    int
+	activatedCount int
+}
+
+func newEngine(cfg *Config) (*engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Schedule.N()
+	e := &engine{
+		cfg:        cfg,
+		n:          n,
+		agents:     make([]Agent, n),
+		activation: make([]uint64, n),
+		agentRNG:   make([]*rng.Rand, n),
+		actions:    make([]Action, n),
+		active:     make([]bool, n),
+		pending:    make([]msg.Message, n),
+		hasPending: make([]bool, n),
+		txCount:    make([]int, cfg.F+1),
+		txFrom:     make([]NodeID, cfg.F+1),
+		emptySet:   freqset.New(cfg.F),
+	}
+	master := rng.New(cfg.Seed)
+	for i := 0; i < n; i++ {
+		e.activation[i] = cfg.Schedule.ActivationRound(i)
+		if e.activation[i] > e.maxActivation {
+			e.maxActivation = e.activation[i]
+		}
+		e.agentRNG[i] = master.Split(uint64(i))
+	}
+	e.hist = History{
+		F:         cfg.F,
+		Activated: make([]uint64, n),
+		Received:  make([]bool, n),
+	}
+	e.rec = RoundRecord{
+		Disrupted:  e.emptySet,
+		Actions:    make([]ActionRecord, 0, n),
+		Deliveries: make([]Delivery, 0, n),
+		Clear:      make([]int, 0, 4),
+		Outputs:    make([]Output, n),
+	}
+	if cfg.ProbeWeights {
+		e.rec.Weights = make([]float64, n)
+	}
+	e.res = Result{
+		SyncRound: make([]uint64, n),
+		Activated: make([]uint64, n),
+	}
+	copy(e.res.Activated, e.activation)
+	return e, nil
+}
+
+func (e *engine) maxRounds() uint64 {
+	if e.cfg.MaxRounds > 0 {
+		return e.cfg.MaxRounds
+	}
+	return DefaultMaxRounds
+}
+
+// activate brings up any nodes scheduled for round r and returns their
+// local rounds. It is used by the sequential engine; the concurrent engine
+// activates nodes inside workers.
+func (e *engine) activateRound(r uint64) {
+	for i := 0; i < e.n; i++ {
+		if !e.active[i] && e.activation[i] == r {
+			e.active[i] = true
+			e.agents[i] = e.cfg.NewAgent(NodeID(i), r, e.agentRNG[i])
+			e.hist.Activated[i] = r
+			e.activatedCount++
+		}
+	}
+}
+
+// resolve applies the medium semantics for round r given e.actions for all
+// active nodes, filling e.rec and the pending delivery buffers. disrupted
+// is the adversary's validated set.
+func (e *engine) resolve(r uint64, disrupted *freqset.Set) {
+	rec := &e.rec
+	rec.Round = r
+	rec.Disrupted = disrupted
+	rec.Actions = rec.Actions[:0]
+	rec.Deliveries = rec.Deliveries[:0]
+	rec.Clear = rec.Clear[:0]
+
+	for f := 1; f <= e.cfg.F; f++ {
+		e.txCount[f] = 0
+	}
+	for i := 0; i < e.n; i++ {
+		e.hasPending[i] = false
+		if !e.active[i] {
+			continue
+		}
+		a := e.actions[i]
+		if a.Freq < 1 || a.Freq > e.cfg.F {
+			// A protocol choosing an out-of-range frequency is a bug in
+			// the protocol; surface it loudly.
+			panic(fmt.Sprintf("sim: node %d chose frequency %d outside [1..%d]", i, a.Freq, e.cfg.F))
+		}
+		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: a.Freq, Transmit: a.Transmit})
+		if a.Transmit {
+			e.txCount[a.Freq]++
+			e.txFrom[a.Freq] = NodeID(i)
+			e.res.Stats.Transmissions++
+		}
+	}
+
+	// Classify frequencies and queue deliveries.
+	for f := 1; f <= e.cfg.F; f++ {
+		switch {
+		case e.txCount[f] == 0:
+		case e.txCount[f] >= 2:
+			e.res.Stats.Collisions++
+		case disrupted.Contains(f):
+			e.res.Stats.DisruptedLosses++
+		default:
+			rec.Clear = append(rec.Clear, f)
+			e.res.Stats.ClearBroadcasts++
+			if e.res.FirstClear == 0 {
+				e.res.FirstClear = r
+			}
+		}
+	}
+	if e.res.FirstClear != 0 && !e.hist.EverClear {
+		e.hist.EverClear = true
+		e.hist.FirstClear = e.res.FirstClear
+	}
+
+	// Queue deliveries to listeners on clear single-transmitter channels.
+	for i := 0; i < e.n; i++ {
+		if !e.active[i] {
+			continue
+		}
+		a := e.actions[i]
+		if a.Transmit {
+			continue
+		}
+		f := a.Freq
+		if e.txCount[f] == 1 && !disrupted.Contains(f) {
+			from := e.txFrom[f]
+			e.pending[i] = e.deliverable(from)
+			e.hasPending[i] = true
+			e.hist.Received[i] = true
+			rec.Deliveries = append(rec.Deliveries, Delivery{From: from, To: NodeID(i), Freq: f})
+			e.res.Stats.Deliveries++
+		}
+	}
+}
+
+// deliverable returns the message node `from` transmitted this round,
+// optionally forced through the wire codec.
+func (e *engine) deliverable(from NodeID) msg.Message {
+	m := e.actions[from].Msg
+	if !e.cfg.WireFidelity {
+		return m
+	}
+	data, err := msg.Encode(m)
+	if err != nil {
+		panic(fmt.Sprintf("sim: node %d transmitted unencodable message: %v", from, err))
+	}
+	decoded, err := msg.Decode(data)
+	if err != nil {
+		panic(fmt.Sprintf("sim: wire round-trip failed for node %d: %v", from, err))
+	}
+	return decoded
+}
+
+// recordOutputs stores post-round outputs and updates sync bookkeeping.
+func (e *engine) recordOutputs(r uint64) {
+	for i := 0; i < e.n; i++ {
+		if !e.active[i] {
+			e.rec.Outputs[i] = Output{}
+			continue
+		}
+		out := e.agents[i].Output()
+		e.rec.Outputs[i] = out
+		if out.Synced && e.res.SyncRound[i] == 0 {
+			e.res.SyncRound[i] = r
+			e.syncedCount++
+		}
+	}
+}
+
+// finishRound validates the adversary's set, runs observers, and reports
+// whether the run should stop after round r.
+func (e *engine) observeAndCheckStop(r uint64) bool {
+	e.res.Stats.Rounds = r
+	e.hist.Completed = r
+	e.hist.Last = &e.rec
+	for _, ob := range e.cfg.Observers {
+		ob.ObserveRound(&e.rec)
+	}
+	if e.cfg.StopWhen != nil && e.cfg.StopWhen(&e.hist) {
+		return true
+	}
+	if e.cfg.RunToMaxRounds {
+		return false
+	}
+	return r >= e.maxActivation && e.syncedCount == e.n
+}
+
+// probeWeight records node i's pre-Step broadcast probability when weight
+// probing is enabled.
+func (e *engine) probeWeight(i int) {
+	if e.rec.Weights == nil {
+		return
+	}
+	e.rec.Weights[i] = 0
+	if bp, ok := e.agents[i].(BroadcastProber); ok {
+		e.rec.Weights[i] = bp.BroadcastProb()
+	}
+}
+
+// disruptedSet obtains and validates the adversary's choice for round r.
+func (e *engine) disruptedSet(r uint64) *freqset.Set {
+	if e.cfg.Adversary == nil {
+		return e.emptySet
+	}
+	s := e.cfg.Adversary.Disrupt(r, &e.hist)
+	if s == nil {
+		return e.emptySet
+	}
+	if s.Len() > e.cfg.T {
+		panic(fmt.Sprintf("sim: adversary disrupted %d frequencies, budget is %d", s.Len(), e.cfg.T))
+	}
+	return s
+}
+
+// finalize fills the summary fields of the result.
+func (e *engine) finalize(hitMax bool) *Result {
+	e.res.HitMaxRounds = hitMax
+	e.res.AllSynced = e.syncedCount == e.n && e.activatedCount == e.n
+	for i := 0; i < e.n; i++ {
+		if e.res.SyncRound[i] != 0 {
+			local := e.res.SyncRound[i] - e.activation[i] + 1
+			if local > e.res.MaxSyncLocal {
+				e.res.MaxSyncLocal = local
+			}
+		}
+	}
+	for i := 0; i < e.n; i++ {
+		if lr, ok := e.agents[i].(LeaderReporter); ok && lr.IsLeader() {
+			e.res.Leaders++
+		}
+	}
+	return &e.res
+}
+
+// Run executes the simulation sequentially and returns its result. It
+// returns an error only for invalid configurations; model violations by
+// protocols or adversaries (out-of-range frequencies, over-budget
+// disruption) panic, as they are programming errors.
+func Run(cfg *Config) (*Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	limit := e.maxRounds()
+	for r := uint64(1); r <= limit; r++ {
+		e.activateRound(r)
+		disrupted := e.disruptedSet(r)
+		for i := 0; i < e.n; i++ {
+			if e.active[i] {
+				e.probeWeight(i)
+				e.actions[i] = e.agents[i].Step(r - e.activation[i] + 1)
+			}
+		}
+		e.resolve(r, disrupted)
+		for i := 0; i < e.n; i++ {
+			if e.hasPending[i] {
+				e.agents[i].Deliver(e.pending[i])
+			}
+		}
+		e.recordOutputs(r)
+		if e.observeAndCheckStop(r) {
+			return e.finalize(false), nil
+		}
+	}
+	return e.finalize(true), nil
+}

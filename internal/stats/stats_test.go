@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Median != 42 || s.Min != 42 || s.Max != 42 || s.StdDev != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{4, 2, 6, 8, 10})
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 6, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Median != 6 || s.Min != 2 || s.Max != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample sd of {2,4,6,8,10} = sqrt(40/4) = sqrt(10).
+	if !almost(s.StdDev, math.Sqrt(10), 1e-12) {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {-1, 10}, {2, 40},
+		{0.5, 25}, {0.25, 17.5}, {1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); !almost(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	lo, hi := s.CI95()
+	if lo >= s.Mean || hi <= s.Mean {
+		t.Fatalf("CI [%v, %v] does not bracket mean %v", lo, hi, s.Mean)
+	}
+	one := Summarize([]float64{5})
+	lo, hi = one.CI95()
+	if lo != 5 || hi != 5 {
+		t.Fatalf("single-point CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept, r2 := LinearFit(xs, ys)
+	if !almost(slope, 2, 1e-12) || !almost(intercept, 3, 1e-12) || !almost(r2, 1, 1e-12) {
+		t.Fatalf("fit = (%v, %v, %v)", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, _, _ := LinearFit([]float64{1}, []float64{1}); s != 0 {
+		t.Fatal("fit on one point")
+	}
+	// Constant x: slope 0, intercept mean(y).
+	s, b, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if s != 0 || !almost(b, 2, 1e-12) {
+		t.Fatalf("constant-x fit = (%v, %v)", s, b)
+	}
+	// Constant y: perfect fit with slope 0.
+	s, b, r2 := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if !almost(s, 0, 1e-12) || !almost(b, 4, 1e-12) || !almost(r2, 1, 1e-12) {
+		t.Fatalf("constant-y fit = (%v, %v, %v)", s, b, r2)
+	}
+}
+
+func TestFitRatio(t *testing.T) {
+	theory := []float64{10, 20, 40}
+	measured := []float64{30, 60, 120} // constant ratio 3
+	s := FitRatio(theory, measured)
+	if !almost(s.Mean, 3, 1e-12) || !almost(s.Min, 3, 1e-12) || !almost(s.Max, 3, 1e-12) {
+		t.Fatalf("ratio summary = %+v", s)
+	}
+	if got := RelSpread(s); !almost(got, 0, 1e-12) {
+		t.Fatalf("RelSpread = %v", got)
+	}
+	// Zero theory entries are skipped.
+	s2 := FitRatio([]float64{0, 10}, []float64{5, 20})
+	if s2.N != 1 || !almost(s2.Mean, 2, 1e-12) {
+		t.Fatalf("ratio with zero theory = %+v", s2)
+	}
+}
+
+func TestRelSpreadInf(t *testing.T) {
+	if !math.IsInf(RelSpread(Summary{}), 1) {
+		t.Fatal("RelSpread of zero median should be +Inf")
+	}
+}
+
+func TestMeanAndFromUint64(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	xs := FromUint64([]uint64{1, 2, 3})
+	if !almost(Mean(xs), 2, 1e-12) {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+}
+
+// Property: Min <= P25 <= Median <= P75 <= P95 <= Max and Min <= Mean <= Max.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 &&
+			s.P75 <= s.P95 && s.P95 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LinearFit recovers exact linear relationships.
+func TestQuickLinearFitRecovery(t *testing.T) {
+	f := func(slopeRaw, interceptRaw int8, n uint8) bool {
+		m := int(n%20) + 2
+		slope := float64(slopeRaw) / 4
+		intercept := float64(interceptRaw)
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := 0; i < m; i++ {
+			xs[i] = float64(i)
+			ys[i] = slope*xs[i] + intercept
+		}
+		gotS, gotI, _ := LinearFit(xs, ys)
+		return almost(gotS, slope, 1e-9) && almost(gotI, intercept, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace records simulation activity and renders it as a compact
+// ASCII timeline — the debugging view for protocol executions. Attach a
+// Recorder as a sim.Observer and render the retained window afterwards:
+//
+//	round  jammed  n0    n1    n2
+//	  41   {1,2}   T3    r3    .5
+//
+// T3 = transmitted on frequency 3, r3 = received on frequency 3,
+// .5 = listened on frequency 5 and heard nothing, x3 = transmitted into a
+// collision, ~ = inactive. A trailing * marks the round in which the node
+// first output a round number.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wsync/internal/sim"
+)
+
+// Round is one retained round of activity.
+type Round struct {
+	Number     uint64
+	Disrupted  []int
+	Actions    []sim.ActionRecord
+	Deliveries []sim.Delivery
+	Outputs    []sim.Output
+}
+
+// Recorder retains the most recent Cap rounds of a run. It implements
+// sim.Observer and deep-copies everything, since the engine reuses record
+// storage.
+type Recorder struct {
+	cap   int
+	ring  []Round
+	next  int
+	total int
+
+	firstSync []uint64 // per node: round of first non-⊥ output
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder retains the last capRounds rounds (minimum 1).
+func NewRecorder(capRounds int) *Recorder {
+	if capRounds < 1 {
+		capRounds = 1
+	}
+	return &Recorder{cap: capRounds, ring: make([]Round, 0, capRounds)}
+}
+
+// ObserveRound implements sim.Observer.
+func (r *Recorder) ObserveRound(rec *sim.RoundRecord) {
+	if r.firstSync == nil {
+		r.firstSync = make([]uint64, len(rec.Outputs))
+	}
+	for i, out := range rec.Outputs {
+		if out.Synced && r.firstSync[i] == 0 {
+			r.firstSync[i] = rec.Round
+		}
+	}
+	round := Round{
+		Number:     rec.Round,
+		Disrupted:  append([]int(nil), rec.Disrupted.Slice()...),
+		Actions:    append([]sim.ActionRecord(nil), rec.Actions...),
+		Deliveries: append([]sim.Delivery(nil), rec.Deliveries...),
+		Outputs:    append([]sim.Output(nil), rec.Outputs...),
+	}
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, round)
+	} else {
+		r.ring[r.next] = round
+	}
+	r.next = (r.next + 1) % r.cap
+	r.total++
+}
+
+// Rounds returns the retained window in chronological order.
+func (r *Recorder) Rounds() []Round {
+	if len(r.ring) < r.cap {
+		out := make([]Round, len(r.ring))
+		copy(out, r.ring)
+		return out
+	}
+	out := make([]Round, 0, r.cap)
+	for i := 0; i < r.cap; i++ {
+		out = append(out, r.ring[(r.next+i)%r.cap])
+	}
+	return out
+}
+
+// Total returns how many rounds were observed in all.
+func (r *Recorder) Total() int { return r.total }
+
+// cell renders node i's activity in the round.
+func cell(round *Round, i int, firstSync uint64) string {
+	var act *sim.ActionRecord
+	for a := range round.Actions {
+		if round.Actions[a].Node == sim.NodeID(i) {
+			act = &round.Actions[a]
+			break
+		}
+	}
+	if act == nil {
+		return "~"
+	}
+	received := false
+	for _, d := range round.Deliveries {
+		if d.To == sim.NodeID(i) {
+			received = true
+			break
+		}
+	}
+	var s string
+	switch {
+	case act.Transmit && delivered(round, i):
+		s = fmt.Sprintf("T%d", act.Freq)
+	case act.Transmit:
+		s = fmt.Sprintf("x%d", act.Freq)
+	case received:
+		s = fmt.Sprintf("r%d", act.Freq)
+	default:
+		s = fmt.Sprintf(".%d", act.Freq)
+	}
+	if firstSync == round.Number {
+		s += "*"
+	}
+	return s
+}
+
+// delivered reports whether node i's transmission reached anyone this
+// round.
+func delivered(round *Round, i int) bool {
+	for _, d := range round.Deliveries {
+		if d.From == sim.NodeID(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the retained window as an aligned timeline for the given
+// number of nodes.
+func (r *Recorder) Render(w io.Writer, nodes int) error {
+	rounds := r.Rounds()
+	if len(rounds) == 0 {
+		_, err := io.WriteString(w, "trace: no rounds recorded\n")
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: last %d of %d rounds (T=tx heard, x=tx lost, r=received, .=silence, ~=inactive, *=first output)\n",
+		len(rounds), r.total)
+	fmt.Fprintf(&b, "%7s  %-12s", "round", "jammed")
+	for i := 0; i < nodes; i++ {
+		fmt.Fprintf(&b, "  %-5s", fmt.Sprintf("n%d", i))
+	}
+	b.WriteByte('\n')
+	for idx := range rounds {
+		round := &rounds[idx]
+		jam := "{}"
+		if len(round.Disrupted) > 0 {
+			parts := make([]string, len(round.Disrupted))
+			for i, f := range round.Disrupted {
+				parts[i] = fmt.Sprintf("%d", f)
+			}
+			jam = "{" + strings.Join(parts, ",") + "}"
+		}
+		fmt.Fprintf(&b, "%7d  %-12s", round.Number, jam)
+		for i := 0; i < nodes; i++ {
+			var fs uint64
+			if i < len(r.firstSync) {
+				fs = r.firstSync[i]
+			}
+			fmt.Fprintf(&b, "  %-5s", cell(round, i, fs))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

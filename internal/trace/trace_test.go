@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsync/internal/freqset"
+	"wsync/internal/sim"
+)
+
+func record(round uint64, disrupted []int, actions []sim.ActionRecord,
+	deliveries []sim.Delivery, outputs []sim.Output) *sim.RoundRecord {
+	return &sim.RoundRecord{
+		Round:      round,
+		Disrupted:  freqset.FromSlice(8, disrupted),
+		Actions:    actions,
+		Deliveries: deliveries,
+		Outputs:    outputs,
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.ObserveRound(record(i, nil, nil, nil, []sim.Output{{}}))
+	}
+	rounds := r.Rounds()
+	if len(rounds) != 3 {
+		t.Fatalf("retained %d rounds, want 3", len(rounds))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if rounds[i].Number != want {
+			t.Fatalf("rounds[%d].Number = %d, want %d", i, rounds[i].Number, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+func TestRecorderDeepCopies(t *testing.T) {
+	r := NewRecorder(2)
+	actions := []sim.ActionRecord{{Node: 0, Freq: 3, Transmit: true}}
+	rec := record(1, []int{2}, actions, nil, []sim.Output{{}})
+	r.ObserveRound(rec)
+	actions[0].Freq = 7 // engine reuses its buffers
+	if got := r.Rounds()[0].Actions[0].Freq; got != 3 {
+		t.Fatalf("recorded action mutated to freq %d", got)
+	}
+}
+
+func TestRenderSymbols(t *testing.T) {
+	r := NewRecorder(4)
+	// Round 1: node 0 transmits to node 1; node 2 listens in silence.
+	r.ObserveRound(record(1, []int{5},
+		[]sim.ActionRecord{
+			{Node: 0, Freq: 3, Transmit: true},
+			{Node: 1, Freq: 3},
+			{Node: 2, Freq: 6},
+		},
+		[]sim.Delivery{{From: 0, To: 1, Freq: 3}},
+		[]sim.Output{{}, {Value: 9, Synced: true}, {}},
+	))
+	// Round 2: node 0 transmits into the void; node 3 still inactive.
+	r.ObserveRound(record(2, nil,
+		[]sim.ActionRecord{
+			{Node: 0, Freq: 2, Transmit: true},
+			{Node: 1, Freq: 4},
+			{Node: 2, Freq: 6},
+		},
+		nil,
+		[]sim.Output{{}, {Value: 10, Synced: true}, {}},
+	))
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"T3", "r3*", ".6", "x2", "~", "{5}"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder(2).Render(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no rounds") {
+		t.Fatalf("empty render = %q", buf.String())
+	}
+}
+
+func TestFirstSyncMarkerOnlyOnce(t *testing.T) {
+	r := NewRecorder(4)
+	for i := uint64(1); i <= 3; i++ {
+		synced := i >= 2
+		r.ObserveRound(record(i, nil,
+			[]sim.ActionRecord{{Node: 0, Freq: 1}},
+			nil,
+			[]sim.Output{{Value: i, Synced: synced}},
+		))
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "*"); got != 2 {
+		// One in the legend, one in round 2's cell.
+		t.Fatalf("marker count = %d, want 2:\n%s", got, buf.String())
+	}
+}
+
+func TestMinimumCap(t *testing.T) {
+	r := NewRecorder(0)
+	r.ObserveRound(record(1, nil, nil, nil, []sim.Output{}))
+	r.ObserveRound(record(2, nil, nil, nil, []sim.Output{}))
+	if got := len(r.Rounds()); got != 1 {
+		t.Fatalf("retained %d, want 1", got)
+	}
+}

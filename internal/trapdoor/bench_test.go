@@ -1,0 +1,26 @@
+package trapdoor
+
+import (
+	"testing"
+
+	"wsync/internal/rng"
+)
+
+// BenchmarkNodeStep measures the per-round cost of one contender.
+func BenchmarkNodeStep(b *testing.B) {
+	n := MustNew(Params{N: 1024, F: 16, T: 4}, rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Step(uint64(i%1000) + 1)
+	}
+}
+
+// BenchmarkSchedule measures schedule-table generation.
+func BenchmarkSchedule(b *testing.B) {
+	p := Params{N: 1 << 20, F: 64, T: 30}
+	for i := 0; i < b.N; i++ {
+		if len(p.Schedule()) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package trapdoor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+)
+
+// Property: for arbitrary valid parameters the Figure 1 schedule is well
+// formed — lgN rows, non-decreasing probabilities capped at 1/2, positive
+// lengths, and a final epoch at least as long as the regular ones.
+func TestQuickScheduleWellFormed(t *testing.T) {
+	prop := func(nRaw uint16, fRaw, tRaw uint8) bool {
+		n := int(nRaw%2048) + 2
+		f := int(fRaw%32) + 1
+		tj := 0
+		if f > 1 {
+			tj = int(tRaw) % f
+		}
+		p := Params{N: n, F: f, T: tj}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		rows := p.Schedule()
+		if len(rows) != p.LgN() {
+			return false
+		}
+		prev := 0.0
+		for i, row := range rows {
+			if row.Length < 1 {
+				return false
+			}
+			if row.Prob < prev || row.Prob > 0.5 {
+				return false
+			}
+			prev = row.Prob
+			if i < len(rows)-1 && row.Length != p.EpochLen() {
+				return false
+			}
+		}
+		if rows[len(rows)-1].Prob != 0.5 {
+			return false
+		}
+		// The final epoch is Θ(F') times longer than regular epochs; for
+		// F' = 1 (t = 0) the constants make it legitimately shorter.
+		if p.FPrime() >= 2 && rows[len(rows)-1].Length < p.EpochLen() {
+			return false
+		}
+		total := p.TotalRounds()
+		want := uint64(p.LgN()-1)*p.EpochLen() + p.FinalEpochLen()
+		return total == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a node's transmission behavior matches its declared
+// BroadcastProb: listening-only roles never transmit, and leaders and
+// contenders transmit with roughly the declared frequency.
+func TestQuickBroadcastProbConsistency(t *testing.T) {
+	prop := func(seed uint64) bool {
+		p := Params{N: 8, F: 6, T: 2}
+		n := MustNew(p, rng.New(seed))
+		// Drive the node through its whole competition; at every step the
+		// declared probability must be in [0, 1] and zero whenever the
+		// action cannot transmit.
+		total := p.TotalRounds() + 50
+		for r := uint64(1); r <= total; r++ {
+			prob := n.BroadcastProb()
+			if prob < 0 || prob > 1 {
+				return false
+			}
+			act := n.Step(r)
+			if prob == 0 && act.Transmit {
+				return false
+			}
+		}
+		return n.IsLeader() // lone contender always wins
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: knocked-out and synced nodes never transmit, for arbitrary
+// delivery orders.
+func TestQuickSilentRolesStaySilent(t *testing.T) {
+	prop := func(seed uint64, knock bool) bool {
+		p := Params{N: 8, F: 6, T: 2}
+		n := MustNew(p, rng.New(seed))
+		n.Step(1)
+		if knock {
+			n.Deliver(kMsg(1 << 30))
+		} else {
+			n.Deliver(lMsg(500))
+		}
+		for r := uint64(2); r < 120; r++ {
+			if act := n.Step(r); act.Transmit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// kMsg builds a contender message with the given age (helper for property
+// tests).
+func kMsg(age uint64) msg.Message {
+	return msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: age, UID: 1}}
+}
+
+// lMsg builds a leader message carrying the given round number.
+func lMsg(round uint64) msg.Message {
+	return msg.Message{
+		Kind:   msg.KindLeader,
+		TS:     msg.Timestamp{Age: 1 << 20, UID: 2},
+		Round:  round,
+		Scheme: 2,
+	}
+}

@@ -1,0 +1,143 @@
+package trapdoor
+
+import (
+	"fmt"
+	"testing"
+
+	"wsync/internal/adversary"
+	"wsync/internal/props"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// TestSoakGrid runs the Trapdoor Protocol across a grid of system sizes,
+// jamming levels, activation patterns and adversaries, asserting all five
+// problem properties and leader uniqueness on every combination. This is
+// the repository's broadest correctness net; it is skipped under -short.
+func TestSoakGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak grid")
+	}
+	type grid struct {
+		nBound, active, f, tJam int
+		sched                   string
+		adv                     string
+	}
+	var cases []grid
+	for _, size := range []struct{ nBound, active int }{{16, 4}, {64, 12}, {256, 24}} {
+		for _, band := range []struct{ f, tJam int }{{4, 1}, {8, 3}, {8, 7}, {16, 8}} {
+			for _, sched := range []string{"simultaneous", "staggered"} {
+				for _, adv := range []string{"fixed", "random", "sweep"} {
+					cases = append(cases, grid{size.nBound, size.active, band.f, band.tJam, sched, adv})
+				}
+			}
+		}
+	}
+	// Liveness (AllSynced) is a probability-1 property: hard assertion.
+	// Agreement and leader uniqueness hold "with high probability" (error
+	// ~1/N per run), so the grid gets a failure budget of three times the
+	// expected failure count instead of a per-point hard assertion.
+	expectedFailures := 0.0
+	for _, c := range cases {
+		expectedFailures += 1 / float64(c.nBound)
+	}
+	budget := int(3*expectedFailures) + 1
+
+	type outcome struct {
+		name string
+		bad  bool
+	}
+	results := make([]outcome, len(cases))
+	for i, c := range cases {
+		i, c := i, c
+		name := fmt.Sprintf("N%d_n%d_F%d_t%d_%s_%s", c.nBound, c.active, c.f, c.tJam, c.sched, c.adv)
+		results[i].name = name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := Params{N: c.nBound, F: c.f, T: c.tJam}
+			var sched sim.Schedule = sim.Simultaneous{Count: c.active}
+			if c.sched == "staggered" {
+				sched = sim.Staggered{Count: c.active, Gap: 17}
+			}
+			adv, err := adversary.New(c.adv, c.f, c.tJam, uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := props.NewChecker(c.active)
+			cfg := &sim.Config{
+				F:    c.f,
+				T:    c.tJam,
+				Seed: uint64(1000 + i),
+				NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+					return MustNew(p, r)
+				},
+				Schedule:  sched,
+				Adversary: adv,
+				MaxRounds: 1 << 22,
+				Observers: []sim.Observer{check},
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllSynced {
+				t.Fatalf("not synced after %d rounds (liveness is probability 1)", res.Stats.Rounds)
+			}
+			if !check.Live() {
+				t.Fatal("liveness check failed")
+			}
+			if !check.OK() || res.Leaders != 1 {
+				results[i].bad = true
+				t.Logf("w.h.p. failure: leaders=%d violations=%d", res.Leaders, check.Count())
+			}
+		})
+	}
+	t.Cleanup(func() {
+		failures := 0
+		for _, r := range results {
+			if r.bad {
+				failures++
+				t.Logf("grid failure at %s", r.name)
+			}
+		}
+		if failures > budget {
+			t.Errorf("%d w.h.p. failures across %d grid points, budget %d (expected ~%.1f)",
+				failures, len(cases), budget, expectedFailures)
+		}
+	})
+}
+
+// TestMassCrashLiveness crashes every node except one mid-run; the lone
+// fault-tolerant survivor must still end up leading and outputting.
+func TestMassCrashLiveness(t *testing.T) {
+	p := Params{N: 16, F: 6, T: 2, FaultTolerant: true, LeaderTimeout: 200}
+	const n = 5
+	crashAt := p.TotalRounds() / 2 // mid-competition
+	var survivor *Node
+	cfg := &sim.Config{
+		F:    p.F,
+		T:    p.T,
+		Seed: 11,
+		NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+			node := MustNew(p, r)
+			if id == n-1 {
+				survivor = node
+				return node
+			}
+			return &adversary.CrashAgent{Inner: node, CrashAt: crashAt}
+		},
+		Schedule:       sim.Simultaneous{Count: n},
+		Adversary:      adversary.NewPrefix(p.F, p.T),
+		MaxRounds:      crashAt + 30*p.TotalRounds(),
+		RunToMaxRounds: true,
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !survivor.IsLeader() {
+		t.Fatalf("lone survivor role = %v, want leader", survivor.Role())
+	}
+	if !survivor.Output().Synced {
+		t.Fatal("lone survivor has no output")
+	}
+}

@@ -1,0 +1,307 @@
+// Package unslotted implements the slotted→unslotted transformation
+// sketched in Section 8 of the paper ("Unsynchronized rounds").
+//
+// The paper's model assumes all nodes agree on round boundaries. In
+// reality, devices' clocks are phase-shifted. The classical fix (going
+// back to the ALOHA slotting argument, [1] in the paper) costs a constant
+// factor: subdivide time into half-slots, let every protocol round occupy
+// two consecutive half-slots of the node's local clock, and transmit each
+// message in both half-slots. Any receiver's round then fully contains at
+// least one half-slot of any concurrent transmission, so a message that
+// would have been received in the slotted model is received here too —
+// at twice the slot cost.
+//
+// This package provides an engine with exactly those semantics: nodes have
+// arbitrary phase parities, the adversary jams up to t frequencies per
+// half-slot, and unmodified sim.Agent protocols run on top. A test
+// verifies that with all phases equal the engine reproduces the slotted
+// semantics, and the integration tests show the Trapdoor Protocol
+// synchronizing across phase-shifted nodes unchanged.
+package unslotted
+
+import (
+	"errors"
+	"fmt"
+
+	"wsync/internal/freqset"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// Config describes an unslotted simulation. Time advances in half-slots;
+// a node's protocol round k occupies half-slots [2k+φ, 2k+1+φ] of global
+// time, where φ ∈ {0, 1} is the node's phase.
+type Config struct {
+	// F is the number of frequencies; T the adversary budget per
+	// half-slot.
+	F int
+	T int
+	// Seed drives all randomness.
+	Seed uint64
+	// NewAgent constructs node i's protocol (an ordinary slotted agent).
+	NewAgent func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent
+	// N is the number of nodes.
+	N int
+	// Phase returns node i's phase parity (0 or 1); nil means all zero.
+	// Random phases model unsynchronized clocks.
+	Phase func(i int) int
+	// ActivationRound returns node i's activation in protocol rounds
+	// (>= 1); nil means all activate in round 1.
+	ActivationRound func(i int) uint64
+	// Adversary jams up to T frequencies per half-slot; nil means none.
+	// It sees the half-slot index as the round number.
+	Adversary sim.Adversary
+	// MaxRounds bounds the run in protocol rounds (0 = sim default).
+	MaxRounds uint64
+	// StopWhenAllSynced ends the run once every node reports a non-⊥
+	// output (default behavior; set RunToMax to disable).
+	RunToMax bool
+}
+
+// Result reports an unslotted run.
+type Result struct {
+	// Rounds is the number of protocol rounds executed (half-slots / 2).
+	Rounds uint64
+	// AllSynced reports whether every node committed.
+	AllSynced bool
+	// SyncRound[i] is the local protocol round at which node i first
+	// output a number (0 = never).
+	SyncRound []uint64
+	// Leaders counts agents reporting leadership at the end.
+	Leaders int
+	// Deliveries counts successful protocol-message receptions.
+	Deliveries uint64
+	// HitMaxRounds reports that the budget ran out.
+	HitMaxRounds bool
+}
+
+// RandomPhases returns a Phase function drawing each node's parity
+// uniformly from seed.
+func RandomPhases(n int, seed uint64) func(i int) int {
+	r := rng.New(seed)
+	phases := make([]int, n)
+	for i := range phases {
+		phases[i] = r.Intn(2)
+	}
+	return func(i int) int { return phases[i] }
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.F < 1:
+		return fmt.Errorf("unslotted: F = %d", c.F)
+	case c.T < 0 || c.T >= c.F:
+		return fmt.Errorf("unslotted: T = %d out of [0, F)", c.T)
+	case c.N < 1:
+		return errors.New("unslotted: N < 1")
+	case c.NewAgent == nil:
+		return errors.New("unslotted: NewAgent required")
+	}
+	return nil
+}
+
+// nodeState is the engine's per-node bookkeeping.
+type nodeState struct {
+	agent      sim.Agent
+	phase      uint64
+	activation uint64 // protocol round of activation
+	active     bool
+
+	action sim.Action // current round's action (spans two half-slots)
+	midway bool       // true during the second half-slot of a round
+	got    bool       // received something this round already
+	gotMsg msg.Message
+	local  uint64 // current local protocol round
+	synced bool
+	syncAt uint64
+}
+
+// Run executes the unslotted simulation.
+func Run(c *Config) (*Result, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	maxRounds := c.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+
+	master := rng.New(c.Seed)
+	nodes := make([]nodeState, c.N)
+	for i := range nodes {
+		nodes[i].activation = 1
+		if c.ActivationRound != nil {
+			nodes[i].activation = c.ActivationRound(i)
+			if nodes[i].activation < 1 {
+				return nil, fmt.Errorf("unslotted: node %d activation %d", i, nodes[i].activation)
+			}
+		}
+		if c.Phase != nil {
+			p := c.Phase(i)
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("unslotted: node %d phase %d not in {0,1}", i, p)
+			}
+			nodes[i].phase = uint64(p)
+		}
+	}
+
+	res := &Result{SyncRound: make([]uint64, c.N)}
+	txCount := make([]int, c.F+1)
+	txFrom := make([]int, c.F+1)
+	empty := freqset.New(c.F)
+	hist := &sim.History{F: c.F, Activated: make([]uint64, c.N), Received: make([]bool, c.N)}
+
+	// Half-slot loop. Node i's protocol round k (1-based local) starts at
+	// half-slot 2*(activation+k-1) + phase - 1 in 1-based global
+	// half-slots.
+	limit := 2*maxRounds + 2
+	for hs := uint64(1); hs <= limit; hs++ {
+		// Phase A: start rounds / refresh actions.
+		for i := range nodes {
+			n := &nodes[i]
+			// Global protocol round r covers half-slots [2r-1+φ, 2r+φ].
+			// Node starts its local round when (hs - φ) is odd.
+			if (hs-n.phase)%2 == 1 {
+				globalRound := (hs - n.phase + 1) / 2
+				if !n.active {
+					if globalRound < n.activation {
+						continue
+					}
+					if globalRound == n.activation {
+						n.active = true
+						n.agent = c.NewAgent(sim.NodeID(i), globalRound, master.Split(uint64(i)))
+						hist.Activated[i] = globalRound
+					}
+				}
+				if n.active {
+					// Deliver the previous round's reception before
+					// starting the new round.
+					n.finishRound()
+					n.local = globalRound - n.activation + 1
+					n.action = n.agent.Step(n.local)
+					if n.action.Freq < 1 || n.action.Freq > c.F {
+						panic(fmt.Sprintf("unslotted: node %d chose frequency %d", i, n.action.Freq))
+					}
+					n.midway = false
+					n.got = false
+				}
+			} else if n.active {
+				n.midway = true
+			}
+		}
+
+		// Adversary jams this half-slot.
+		disrupted := empty
+		if c.Adversary != nil {
+			if s := c.Adversary.Disrupt(hs, hist); s != nil {
+				if s.Len() > c.T {
+					panic(fmt.Sprintf("unslotted: adversary jammed %d > %d", s.Len(), c.T))
+				}
+				disrupted = s
+			}
+		}
+
+		// Phase B: resolve the medium for this half-slot.
+		for f := 1; f <= c.F; f++ {
+			txCount[f] = 0
+		}
+		for i := range nodes {
+			n := &nodes[i]
+			if n.active && n.action.Transmit {
+				txCount[n.action.Freq]++
+				txFrom[n.action.Freq] = i
+			}
+		}
+		for i := range nodes {
+			n := &nodes[i]
+			if !n.active || n.action.Transmit || n.got {
+				continue
+			}
+			f := n.action.Freq
+			if txCount[f] == 1 && !disrupted.Contains(f) && txFrom[f] != i {
+				n.got = true
+				n.gotMsg = nodes[txFrom[f]].action.Msg
+				hist.Received[i] = true
+				res.Deliveries++
+			}
+		}
+		hist.Completed = hs
+
+		// Check termination at even half-slots (round boundaries for
+		// phase-0 nodes; close enough for bookkeeping).
+		if hs%2 == 0 {
+			res.Rounds = hs / 2
+			if !c.RunToMax && allSynced(nodes, res) {
+				finish(nodes, res)
+				return res, nil
+			}
+		}
+	}
+	res.HitMaxRounds = true
+	finish(nodes, res)
+	return res, nil
+}
+
+// finishRound delivers the pending reception and records outputs at the
+// boundary between two of the node's rounds.
+func (n *nodeState) finishRound() {
+	if n.agent == nil || n.local == 0 {
+		return
+	}
+	if n.got {
+		n.agent.Deliver(n.gotMsg)
+		n.got = false
+	}
+	if out := n.agent.Output(); out.Synced && !n.synced {
+		n.synced = true
+		n.syncAt = n.local
+	}
+}
+
+// allSynced polls outputs mid-run; a node is synced once its agent reports
+// a non-⊥ output.
+func allSynced(nodes []nodeState, res *Result) bool {
+	for i := range nodes {
+		n := &nodes[i]
+		if !n.active {
+			return false
+		}
+		if !n.synced {
+			if out := n.agent.Output(); out.Synced {
+				n.synced = true
+				n.syncAt = n.local
+			} else {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finish finalizes the result summary.
+func finish(nodes []nodeState, res *Result) {
+	res.AllSynced = true
+	for i := range nodes {
+		n := &nodes[i]
+		if n.agent != nil && n.got {
+			n.agent.Deliver(n.gotMsg)
+			n.got = false
+		}
+		if n.agent != nil && !n.synced {
+			if out := n.agent.Output(); out.Synced {
+				n.synced = true
+				n.syncAt = n.local
+			}
+		}
+		if !n.synced {
+			res.AllSynced = false
+		}
+		res.SyncRound[i] = n.syncAt
+		if n.agent != nil {
+			if lr, ok := n.agent.(sim.LeaderReporter); ok && lr.IsLeader() {
+				res.Leaders++
+			}
+		}
+	}
+}

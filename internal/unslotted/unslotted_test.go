@@ -1,0 +1,339 @@
+package unslotted
+
+import (
+	"testing"
+
+	"wsync/internal/adversary"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+	"wsync/internal/trapdoor"
+)
+
+// fixedAgent transmits (or listens) on one frequency forever and syncs on
+// first reception.
+type fixedAgent struct {
+	freq     int
+	transmit bool
+	uid      uint64
+	got      []msg.Message
+	out      sim.Output
+}
+
+func (a *fixedAgent) Step(local uint64) sim.Action {
+	if a.out.Synced {
+		a.out.Value++
+	}
+	act := sim.Action{Freq: a.freq}
+	if a.transmit {
+		act.Transmit = true
+		act.Msg = msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: local, UID: a.uid}}
+	}
+	return act
+}
+
+func (a *fixedAgent) Deliver(m msg.Message) {
+	a.got = append(a.got, m.Clone())
+	if !a.out.Synced {
+		a.out = sim.Output{Value: 1, Synced: true}
+	}
+}
+
+func (a *fixedAgent) Output() sim.Output { return a.out }
+
+// pairConfig builds sender(node 0) → receiver(node 1) on freq 2.
+func pairConfig(phases func(int) int, adv sim.Adversary, t int) (*Config, []*fixedAgent) {
+	agents := make([]*fixedAgent, 2)
+	cfg := &Config{
+		F:    4,
+		T:    t,
+		Seed: 1,
+		N:    2,
+		NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+			a := &fixedAgent{freq: 2, transmit: id == 0, uid: uint64(id)}
+			agents[id] = a
+			return a
+		},
+		Phase:     phases,
+		Adversary: adv,
+		MaxRounds: 10,
+		RunToMax:  true,
+	}
+	return cfg, agents
+}
+
+func TestAlignedDelivery(t *testing.T) {
+	cfg, agents := pairConfig(nil, nil, 0)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One delivery per protocol round, not per half-slot.
+	if len(agents[1].got) == 0 {
+		t.Fatal("aligned receiver got nothing")
+	}
+	if res.Deliveries != uint64(len(agents[1].got)) {
+		t.Fatalf("deliveries %d vs messages %d", res.Deliveries, len(agents[1].got))
+	}
+	if res.Deliveries > res.Rounds {
+		t.Fatalf("%d deliveries in %d rounds — double-counted half-slots", res.Deliveries, res.Rounds)
+	}
+}
+
+func TestPhaseShiftedDelivery(t *testing.T) {
+	// Receiver shifted by one half-slot: the doubled transmission still
+	// reaches it (the transformation's whole point).
+	cfg, agents := pairConfig(func(i int) int { return i }, nil, 0)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agents[1].got) == 0 {
+		t.Fatal("phase-shifted receiver got nothing")
+	}
+}
+
+func TestPhaseShiftedCollision(t *testing.T) {
+	// Two phase-shifted senders on the same frequency: once both are up,
+	// every half-slot carries both transmissions, so the listener hears
+	// nothing. Only the very first half-slot (before the phase-1 sender
+	// starts) can deliver.
+	cfg := &Config{
+		F:    4,
+		Seed: 2,
+		N:    3,
+		NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+			if id == 2 {
+				return &fixedAgent{freq: 2}
+			}
+			return &fixedAgent{freq: 2, transmit: true, uid: uint64(id)}
+		},
+		Phase:     func(i int) int { return i % 2 },
+		MaxRounds: 10,
+		RunToMax:  true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deliveries > 1 {
+		t.Fatalf("deliveries = %d, want <= 1 (startup edge only) under constant collision", res.Deliveries)
+	}
+}
+
+func TestJammingPerHalfSlot(t *testing.T) {
+	cfg, agents := pairConfig(nil, adversary.NewFixed(4, []int{2}), 1)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agents[1].got) != 0 {
+		t.Fatal("delivery on a fully jammed frequency")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := func() *Config {
+		return &Config{
+			F: 4, N: 1,
+			NewAgent: func(sim.NodeID, uint64, *rng.Rand) sim.Agent { return &fixedAgent{freq: 1} },
+		}
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.F = 0 },
+		func(c *Config) { c.T = 4 },
+		func(c *Config) { c.N = 0 },
+		func(c *Config) { c.NewAgent = nil },
+		func(c *Config) { c.Phase = func(int) int { return 2 } },
+		func(c *Config) { c.ActivationRound = func(int) uint64 { return 0 } },
+	}
+	for i, mutate := range cases {
+		cfg := base()
+		mutate(cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRandomPhases(t *testing.T) {
+	p1 := RandomPhases(100, 5)
+	p2 := RandomPhases(100, 5)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		v := p1(i)
+		if v != p2(i) {
+			t.Fatal("RandomPhases not deterministic")
+		}
+		if v != 0 && v != 1 {
+			t.Fatalf("phase %d", v)
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 20 || zeros > 80 {
+		t.Fatalf("%d/100 zero phases — not balanced", zeros)
+	}
+}
+
+func TestActivationDelay(t *testing.T) {
+	var locals []uint64
+	cfg := &Config{
+		F: 2, N: 1, Seed: 3,
+		NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+			return &funcAgent{fn: func(local uint64) sim.Action {
+				locals = append(locals, local)
+				return sim.Action{Freq: 1}
+			}}
+		},
+		ActivationRound: func(int) uint64 { return 3 },
+		MaxRounds:       5,
+		RunToMax:        true,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(locals) == 0 || locals[0] != 1 {
+		t.Fatalf("locals = %v, want starting at 1 from activation round 3", locals)
+	}
+}
+
+type funcAgent struct{ fn func(uint64) sim.Action }
+
+func (a *funcAgent) Step(local uint64) sim.Action { return a.fn(local) }
+func (a *funcAgent) Deliver(msg.Message)          {}
+func (a *funcAgent) Output() sim.Output           { return sim.Output{} }
+
+// TestTrapdoorSynchronizesUnslotted is the Section 8 claim: the slotted
+// protocol runs unchanged on phase-shifted clocks with constant-factor
+// cost.
+func TestTrapdoorSynchronizesUnslotted(t *testing.T) {
+	p := trapdoor.Params{N: 16, F: 6, T: 2}
+	for seed := uint64(0); seed < 3; seed++ {
+		cfg := &Config{
+			F:    p.F,
+			T:    p.T,
+			Seed: seed,
+			N:    4,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Phase:     RandomPhases(4, seed+50),
+			Adversary: adversary.NewPrefix(p.F, p.T),
+			MaxRounds: 200000,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllSynced {
+			t.Fatalf("seed %d: phase-shifted trapdoor did not synchronize (rounds=%d)", seed, res.Rounds)
+		}
+		if res.Leaders != 1 {
+			t.Fatalf("seed %d: leaders = %d", seed, res.Leaders)
+		}
+	}
+}
+
+// TestUnslottedCostConstantFactor compares sync time against the slotted
+// engine: the transformation should cost roughly 1-2x in protocol rounds
+// (each round just takes two half-slots).
+func TestUnslottedCostConstantFactor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical comparison")
+	}
+	p := trapdoor.Params{N: 16, F: 6, T: 2}
+	slotted := func(seed uint64) uint64 {
+		cfg := &sim.Config{
+			F: p.F, T: p.T, Seed: seed,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Schedule:  sim.Simultaneous{Count: 4},
+			Adversary: adversary.NewPrefix(p.F, p.T),
+			MaxRounds: 200000,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil || !res.AllSynced {
+			t.Fatalf("slotted run failed: %v", err)
+		}
+		return res.MaxSyncLocal
+	}
+	unslottedRounds := func(seed uint64) uint64 {
+		cfg := &Config{
+			F: p.F, T: p.T, Seed: seed, N: 4,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Phase:     RandomPhases(4, seed+50),
+			Adversary: adversary.NewPrefix(p.F, p.T),
+			MaxRounds: 200000,
+		}
+		res, err := Run(cfg)
+		if err != nil || !res.AllSynced {
+			t.Fatalf("unslotted run failed: %v", err)
+		}
+		max := uint64(0)
+		for _, s := range res.SyncRound {
+			if s > max {
+				max = s
+			}
+		}
+		return max
+	}
+	var sTot, uTot uint64
+	const trials = 5
+	for seed := uint64(0); seed < trials; seed++ {
+		sTot += slotted(seed)
+		uTot += unslottedRounds(seed + 100)
+	}
+	ratio := float64(uTot) / float64(sTot)
+	// Protocol rounds should be comparable; wall-clock (half-slots) is 2x.
+	if ratio > 3 || ratio < 0.3 {
+		t.Fatalf("unslotted/slotted protocol-round ratio = %.2f, want O(1)", ratio)
+	}
+}
+
+// TestZeroPhaseMatchesSlottedEngine: with all phases zero the unslotted
+// engine must reproduce the slotted engine's execution exactly — same
+// agent streams, same deliveries, same local synchronization rounds.
+func TestZeroPhaseMatchesSlottedEngine(t *testing.T) {
+	p := trapdoor.Params{N: 16, F: 6, T: 2}
+	const n = 4
+	for seed := uint64(0); seed < 5; seed++ {
+		slotted, err := sim.Run(&sim.Config{
+			F: p.F, T: p.T, Seed: seed,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Schedule:  sim.Simultaneous{Count: n},
+			Adversary: adversary.NewPrefix(p.F, p.T),
+			MaxRounds: 100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uns, err := Run(&Config{
+			F: p.F, T: p.T, Seed: seed, N: n,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return trapdoor.MustNew(p, r)
+			},
+			Adversary: adversary.NewPrefix(p.F, p.T),
+			MaxRounds: 100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !uns.AllSynced {
+			t.Fatalf("seed %d: unslotted did not sync", seed)
+		}
+		for i := 0; i < n; i++ {
+			if want, got := slotted.SyncLocal(i), uns.SyncRound[i]; want != got {
+				t.Fatalf("seed %d node %d: slotted sync at local %d, unslotted at %d",
+					seed, i, want, got)
+			}
+		}
+		if slotted.Stats.Deliveries != uns.Deliveries {
+			t.Fatalf("seed %d: deliveries %d vs %d", seed, slotted.Stats.Deliveries, uns.Deliveries)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package wsync
+
+import (
+	"wsync/internal/replog"
+	"wsync/internal/trapdoor"
+)
+
+// ReplicatedLogConfig configures a replicated-log node (the Section 8
+// application: a leader plus a common round view make replicated state
+// straightforward).
+type ReplicatedLogConfig struct {
+	// Members is the group size; commitment requires acknowledgements
+	// from all other members.
+	Members int
+	// F is the number of frequencies.
+	F int
+	// Commands is the command sequence the elected leader replicates.
+	Commands []uint64
+	// Settle is the quiet period after a node's own synchronization
+	// before it joins replication (0 = default).
+	Settle uint64
+}
+
+// ReplicatedLogNode replicates a command log on top of a synchronization
+// protocol. It implements Agent; inspect CommitIndex and Log after a run.
+type ReplicatedLogNode = replog.Node
+
+// NewReplicatedLogNode builds a replicated-log node around the given
+// synchronization agent (use NewTrapdoorNode or NewGoodSamaritanNode).
+func NewReplicatedLogNode(cfg ReplicatedLogConfig, syncAgent Agent, r *Rand) (*ReplicatedLogNode, error) {
+	return replog.New(replog.Config{
+		Members:  cfg.Members,
+		F:        cfg.F,
+		Commands: cfg.Commands,
+		Settle:   cfg.Settle,
+	}, syncAgent, r)
+}
+
+// NewReplicatedTrapdoorNode is the common composition: a replicated-log
+// node over a Trapdoor synchronization layer.
+func NewReplicatedTrapdoorNode(cfg ReplicatedLogConfig, p TrapdoorParams, r *Rand) (*ReplicatedLogNode, error) {
+	syncNode, err := trapdoor.New(p, r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplicatedLogNode(cfg, syncNode, r)
+}

@@ -1,0 +1,267 @@
+package wsync
+
+import (
+	"strings"
+	"testing"
+
+	"wsync/internal/sim"
+)
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{Nodes: 2, T: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSynced || !res.PropertiesOK || res.Leaders != 1 {
+		t.Fatalf("default run failed: %+v", res)
+	}
+}
+
+func TestRunTrapdoorJammed(t *testing.T) {
+	res, err := Run(Config{
+		Protocol:  Trapdoor,
+		Nodes:     4,
+		N:         32,
+		F:         8,
+		T:         2,
+		Adversary: "fixed",
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSynced {
+		t.Fatalf("did not sync: %+v", res)
+	}
+	if !res.PropertiesOK {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.MaxSyncLocal == 0 || res.MaxSyncLocal > res.Rounds {
+		t.Fatalf("MaxSyncLocal = %d, Rounds = %d", res.MaxSyncLocal, res.Rounds)
+	}
+}
+
+func TestRunSamaritanGoodCase(t *testing.T) {
+	res, err := Run(Config{
+		Protocol:     GoodSamaritan,
+		Nodes:        2,
+		N:            16,
+		F:            8,
+		T:            4,
+		Adversary:    "fixed",
+		JammedPrefix: 1,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSynced || !res.PropertiesOK {
+		t.Fatalf("good case failed: %+v", res)
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, proto := range []Protocol{BaselineWakeup, BaselineRoundRobin} {
+		res, err := Run(Config{Protocol: proto, Nodes: 4, N: 16, F: 8, Seed: 7, MaxRounds: 200000})
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if !res.AllSynced {
+			t.Fatalf("%s did not sync on a clean channel", proto)
+		}
+	}
+}
+
+func TestRunSingleFreqJammedFails(t *testing.T) {
+	res, err := Run(Config{
+		Protocol:  BaselineSingleFreq,
+		Nodes:     2,
+		F:         4,
+		T:         1,
+		Adversary: "fixed",
+		MaxRounds: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deliveries != 0 {
+		t.Fatal("deliveries on a jammed single frequency")
+	}
+	if res.Leaders != 2 {
+		t.Fatalf("leaders = %d, want 2 stranded self-commits", res.Leaders)
+	}
+}
+
+func TestRunConcurrentMatches(t *testing.T) {
+	mk := func(concurrent bool) Config {
+		return Config{
+			Protocol: Trapdoor, Nodes: 6, N: 32, F: 8, T: 2,
+			Adversary: "random", Seed: 11, Concurrent: concurrent,
+		}
+	}
+	seq, err := Run(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Run(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds != conc.Rounds || seq.MaxSyncLocal != conc.MaxSyncLocal {
+		t.Fatalf("concurrent differs: %d/%d vs %d/%d",
+			seq.Rounds, seq.MaxSyncLocal, conc.Rounds, conc.MaxSyncLocal)
+	}
+}
+
+func TestRunStaggeredAndRandomActivation(t *testing.T) {
+	for _, act := range []string{"staggered", "random"} {
+		res, err := Run(Config{
+			Protocol: Trapdoor, Nodes: 3, N: 16, F: 6, T: 1,
+			Adversary: "sweep", Activation: act, ActivationGap: 25,
+			ActivationWindow: 100, Seed: 13,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", act, err)
+		}
+		if !res.AllSynced || !res.PropertiesOK {
+			t.Fatalf("%s: %+v", act, res)
+		}
+	}
+}
+
+func TestRunFaultTolerant(t *testing.T) {
+	res, err := Run(Config{
+		Protocol: Trapdoor, Nodes: 3, N: 8, F: 6, T: 1,
+		Adversary: "fixed", FaultTolerant: true, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSynced || !res.PropertiesOK {
+		t.Fatalf("fault-tolerant run failed: %+v", res)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []Config{
+		{Protocol: "nope", Nodes: 2},
+		{Nodes: 2, Adversary: "nope"},
+		{Nodes: 2, Activation: "nope"},
+		{Nodes: 2, F: 4, T: 1, Adversary: "fixed", JammedPrefix: 3},
+		{Protocol: GoodSamaritan, Nodes: 2, F: 4, T: 3}, // T > F/2
+	}
+	for i, c := range cases {
+		if _, err := Run(c); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+// countingAgent verifies the custom-agent extension point.
+type countingAgent struct {
+	steps int
+	out   Output
+}
+
+func (a *countingAgent) Step(local uint64) Action {
+	a.steps++
+	if local >= 5 {
+		a.out = Output{Value: local, Synced: true}
+	} else if a.out.Synced {
+		a.out.Value++
+	}
+	if a.out.Synced {
+		a.out.Value = local // keep correctness: value == local round here
+	}
+	return Action{Freq: 1}
+}
+func (a *countingAgent) Deliver(Message) {}
+func (a *countingAgent) Output() Output  { return a.out }
+
+func TestRunCustomAgent(t *testing.T) {
+	agents := map[int]*countingAgent{}
+	res, err := Run(Config{
+		Nodes: 3,
+		F:     4,
+		NewAgent: func(id int, activation uint64, r *Rand) Agent {
+			a := &countingAgent{}
+			agents[id] = a
+			return a
+		},
+		MaxRounds: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSynced {
+		t.Fatalf("custom agents did not sync: %+v", res)
+	}
+	if len(agents) != 3 {
+		t.Fatalf("factory called %d times", len(agents))
+	}
+}
+
+func TestRunCustomScheduleAndAdversary(t *testing.T) {
+	res, err := Run(Config{
+		Protocol:        Trapdoor,
+		Nodes:           2,
+		N:               8,
+		F:               4,
+		T:               1,
+		CustomSchedule:  sim.Explicit{Rounds: []uint64{1, 40}},
+		CustomAdversary: nil, // none
+		Seed:            19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activated[1] != 40 {
+		t.Fatalf("custom schedule ignored: %+v", res.Activated)
+	}
+}
+
+func TestViolationStringsSurface(t *testing.T) {
+	// The no-knockout ablation is not reachable via the public API, but a
+	// broken custom agent is: one that reverts to ⊥. A second, forever
+	// silent node keeps the run alive past the violation round.
+	res, err := Run(Config{
+		Nodes: 2,
+		F:     2,
+		NewAgent: func(id int, activation uint64, r *Rand) Agent {
+			if id == 0 {
+				return &revertingAgent{}
+			}
+			return &silentAgent{}
+		},
+		MaxRounds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PropertiesOK {
+		t.Fatal("reverting agent not flagged")
+	}
+	if len(res.Violations) == 0 || !strings.Contains(res.Violations[0], "synch-commit") {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}
+
+type revertingAgent struct{ step int }
+
+func (a *revertingAgent) Step(local uint64) Action {
+	a.step++
+	return Action{Freq: 1}
+}
+func (a *revertingAgent) Deliver(Message) {}
+func (a *revertingAgent) Output() Output {
+	if a.step == 2 {
+		return Output{Value: 7, Synced: true}
+	}
+	return Output{}
+}
+
+type silentAgent struct{}
+
+func (a *silentAgent) Step(local uint64) Action { return Action{Freq: 2} }
+func (a *silentAgent) Deliver(Message)          {}
+func (a *silentAgent) Output() Output           { return Output{} }

@@ -10,6 +10,8 @@
 package wsync
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"wsync/internal/adversary"
@@ -467,6 +469,52 @@ func BenchmarkX7Multihop(b *testing.B) {
 		total += res.Rounds
 	}
 	reportRounds(b, total, b.N)
+}
+
+// BenchmarkRunnerScaling measures the experiment runner's trial
+// throughput as the worker count grows: the same T10a sweep at
+// Parallelism 1, 2, 4, and NumCPU. The tables are bit-identical at every
+// level (TestRunnerDeterminism asserts this); only the wall clock moves,
+// so sub-benchmark ratios ARE the runner's scaling curve.
+func BenchmarkRunnerScaling(b *testing.B) {
+	exp, ok := harness.ByID("T10a")
+	if !ok {
+		b.Fatal("T10a not found")
+	}
+	levels := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		levels = append(levels, n)
+	}
+	for _, par := range levels {
+		par := par
+		b.Run(benchName("workers", par), func(b *testing.B) {
+			opt := harness.Options{Quick: true, Trials: 16, Seed: 1, Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Run(opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(opt.Trials), "trials/point")
+		})
+	}
+	// Saturation probe: many concurrent sequential runners (one per
+	// goroutine, multiplied by SetParallelism) stress the scheduler the
+	// way a CI box running several sweeps at once does.
+	b.Run("saturated", func(b *testing.B) {
+		b.SetParallelism(2)
+		var trial atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			opt := harness.Options{Quick: true, Trials: 4, Parallelism: 1}
+			for pb.Next() {
+				opt.Seed = trial.Add(1)
+				if _, err := exp.Run(opt); err != nil {
+					// Fatal/FailNow must not run on RunParallel workers.
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed in node-rounds

@@ -7,11 +7,21 @@
 //	wexp -run T10a,T10b          # run selected experiments
 //	wexp -quick                  # smallest grids (seconds, for smoke tests)
 //	wexp -trials 50 -seed 7      # more repetitions / different seeds
+//	wexp -parallel 4             # trial-runner worker count (0 = one per CPU)
 //	wexp -format markdown        # markdown tables (EXPERIMENTS.md bodies)
 //	wexp -format csv -out dir/   # one CSV file per experiment
+//	wexp -json                   # one machine-readable report on stdout
+//	wexp -list                   # list experiment ids and exit
+//
+// The -json report is the benchmark artifact CI uploads on every build:
+// it bundles the rendered tables with the options and per-experiment wall
+// times, so the performance trajectory of the runner is diffable across
+// commits. Results are bit-identical for a given (seed, trials, quick)
+// regardless of -parallel.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +32,31 @@ import (
 	"wsync/internal/harness"
 )
 
+// report is the envelope of the -json output. It records both the raw
+// flag values and the effective (post-default) ones, so two artifacts
+// produced with the same flags but different baked-in defaults remain
+// distinguishable.
+type report struct {
+	Schema               string        `json:"schema"`
+	Trials               int           `json:"trials"`
+	EffectiveTrials      int           `json:"effective_trials"`
+	Seed                 uint64        `json:"seed"`
+	Quick                bool          `json:"quick"`
+	Parallelism          int           `json:"parallelism"`
+	EffectiveParallelism int           `json:"effective_parallelism"`
+	Experiments          []reportEntry `json:"experiments"`
+}
+
+// reportEntry pairs one experiment's table with its wall time.
+type reportEntry struct {
+	Table     *harness.Table `json:"table"`
+	ElapsedMS int64          `json:"elapsed_ms"`
+}
+
+// reportSchema names the JSON layout; bump on incompatible changes so CI
+// consumers can detect drift.
+const reportSchema = "wsync-bench/v1"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))
 }
@@ -29,15 +64,26 @@ func main() {
 func run(args []string, stdout *os.File) int {
 	fs := flag.NewFlagSet("wexp", flag.ContinueOnError)
 	var (
-		runIDs  = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		trials  = fs.Int("trials", 0, "trials per sweep point (0 = default)")
-		seed    = fs.Uint64("seed", 0, "seed offset for all experiments")
-		quick   = fs.Bool("quick", false, "smallest grids (smoke test)")
-		format  = fs.String("format", "text", "output format: text, markdown, csv")
-		outDir  = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
-		listAll = fs.Bool("list", false, "list experiment ids and exit")
+		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		trials   = fs.Int("trials", 0, "trials per sweep point (0 = default)")
+		seed     = fs.Uint64("seed", 0, "seed offset for all experiments")
+		quick    = fs.Bool("quick", false, "smallest grids (smoke test)")
+		parallel = fs.Int("parallel", 0, "trial-runner worker goroutines (0 = one per CPU)")
+		format   = fs.String("format", "text", "output format: text, markdown, csv, json")
+		jsonOut  = fs.Bool("json", false, "shorthand for -format json")
+		outDir   = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
+		listAll  = fs.Bool("list", false, "list experiment ids and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "markdown", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "wexp: unknown format %q (text, markdown, csv, json)\n", *format)
 		return 2
 	}
 
@@ -48,7 +94,7 @@ func run(args []string, stdout *os.File) int {
 		return 0
 	}
 
-	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, Parallelism: *parallel}
 
 	var selected []harness.Experiment
 	if *runIDs == "" {
@@ -71,6 +117,17 @@ func run(args []string, stdout *os.File) int {
 		}
 	}
 
+	rep := report{
+		Schema:               reportSchema,
+		Trials:               *trials,
+		EffectiveTrials:      opt.EffectiveTrials(),
+		Seed:                 *seed,
+		Quick:                *quick,
+		Parallelism:          *parallel,
+		EffectiveParallelism: opt.EffectiveParallelism(),
+		Experiments:          []reportEntry{},
+	}
+
 	for _, e := range selected {
 		start := time.Now()
 		tbl, err := e.Run(opt)
@@ -80,14 +137,20 @@ func run(args []string, stdout *os.File) int {
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
 
+		if *format == "json" && *outDir == "" {
+			// Stdout JSON is one report for all experiments, emitted after
+			// the loop so the document stays a single valid value.
+			rep.Experiments = append(rep.Experiments, reportEntry{
+				Table: tbl, ElapsedMS: elapsed.Milliseconds(),
+			})
+			continue
+		}
+
 		var out *os.File
 		if *outDir == "" {
 			out = stdout
 		} else {
-			ext := map[string]string{"text": "txt", "markdown": "md", "csv": "csv"}[*format]
-			if ext == "" {
-				ext = "txt"
-			}
+			ext := map[string]string{"text": "txt", "markdown": "md", "csv": "csv", "json": "json"}[*format]
 			f, err := os.Create(filepath.Join(*outDir, e.ID+"."+ext))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "wexp: %v\n", err)
@@ -101,6 +164,8 @@ func run(args []string, stdout *os.File) int {
 			err = tbl.Markdown(out)
 		case "csv":
 			err = tbl.CSV(out)
+		case "json":
+			err = tbl.JSON(out)
 		default:
 			err = tbl.Render(out)
 			if err == nil {
@@ -114,6 +179,15 @@ func run(args []string, stdout *os.File) int {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wexp: %s: %v\n", e.ID, err)
+			return 1
+		}
+	}
+
+	if *format == "json" && *outDir == "" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "wexp: %v\n", err)
 			return 1
 		}
 	}

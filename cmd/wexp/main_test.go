@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,6 +73,101 @@ func TestRunMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(out, "| super-epoch |") {
 		t.Fatalf("markdown table missing:\n%s", out)
+	}
+}
+
+// TestRunJSONReport checks the machine-readable report CI consumes: valid
+// JSON, schema-tagged, one entry per requested experiment.
+func TestRunJSONReport(t *testing.T) {
+	code, out := capture(t, []string{"-quick", "-trials", "2", "-parallel", "4", "-json", "-run", "F1,L2"})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Schema != reportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, reportSchema)
+	}
+	if rep.Parallelism != 4 || rep.Trials != 2 || !rep.Quick {
+		t.Errorf("options not echoed: %+v", rep)
+	}
+	if rep.EffectiveTrials != 2 || rep.EffectiveParallelism != 4 {
+		t.Errorf("effective options not recorded: %+v", rep)
+	}
+	if len(rep.Experiments) != 2 {
+		t.Fatalf("got %d experiments, want 2", len(rep.Experiments))
+	}
+	for i, want := range []string{"F1", "L2"} {
+		e := rep.Experiments[i]
+		if e.Table == nil || e.Table.ID != want {
+			t.Errorf("experiment %d = %+v, want id %s", i, e.Table, want)
+		}
+		if e.Table != nil && (len(e.Table.Columns) == 0 || len(e.Table.Rows) == 0) {
+			t.Errorf("%s table empty: %+v", want, e.Table)
+		}
+	}
+}
+
+// TestRunJSONToDir checks per-experiment JSON files under -out.
+func TestRunJSONToDir(t *testing.T) {
+	dir := t.TempDir()
+	code, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "F1", "-format", "json", "-out", dir})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "F1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl map[string]any
+	if err := json.Unmarshal(data, &tbl); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if tbl["id"] != "F1" {
+		t.Fatalf("id = %v", tbl["id"])
+	}
+}
+
+// TestParallelFlagDeterminism asserts the CLI contract behind the CI
+// benchmark job: the same options at different -parallel values produce
+// identical tables (only elapsed times may differ).
+func TestParallelFlagDeterminism(t *testing.T) {
+	strip := func(out string) string {
+		var rep report
+		if err := json.Unmarshal([]byte(out), &rep); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		rep.Parallelism = 0
+		rep.EffectiveParallelism = 0
+		for i := range rep.Experiments {
+			rep.Experiments[i].ElapsedMS = 0
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	args := []string{"-quick", "-trials", "3", "-seed", "11", "-json", "-run", "T10a,T4"}
+	code, seq := capture(t, append([]string{"-parallel", "1"}, args...))
+	if code != 0 {
+		t.Fatalf("sequential exit = %d", code)
+	}
+	code, par := capture(t, append([]string{"-parallel", "8"}, args...))
+	if code != 0 {
+		t.Fatalf("parallel exit = %d", code)
+	}
+	if strip(seq) != strip(par) {
+		t.Fatalf("-parallel changed results:\nP=1: %s\nP=8: %s", seq, par)
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	code, _ := capture(t, []string{"-format", "yaml"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
 	}
 }
 

@@ -122,9 +122,10 @@ func width(args []string) int {
 	t := fs.Int("t", 2, "adversary budget")
 	trials := fs.Int("trials", 200, "repetitions per width")
 	seed := fs.Uint64("seed", 1, "seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = one per CPU)")
 	_ = fs.Parse(args)
 
-	best, means := lowerbound.BestUniformWidth(*f, *t, *trials, 1<<16, *seed)
+	best, means := lowerbound.BestUniformWidth(*f, *t, *trials, 1<<16, *seed, *parallel)
 	fmt.Printf("width  mean rendezvous rounds\n")
 	for m := 1; m <= *f; m++ {
 		marker := ""

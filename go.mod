@@ -1,0 +1,3 @@
+module wsync
+
+go 1.22

@@ -1,12 +1,13 @@
 package harness
 
 import (
+	"sync/atomic"
+
 	"wsync/internal/adversary"
 	"wsync/internal/multihop"
 	"wsync/internal/replog"
 	"wsync/internal/rng"
 	"wsync/internal/sim"
-	"wsync/internal/stats"
 	"wsync/internal/trapdoor"
 	"wsync/internal/unslotted"
 )
@@ -22,8 +23,8 @@ func runX5(o Options) (*Table, error) {
 	}
 	p := trapdoor.Params{N: 16, F: 6, T: 2}
 	const active = 4
-	slotted, err := parallelMap(o.trials(), func(i int) (float64, error) {
-		rr, err := trapdoorRun(p, active, adversary.NewPrefix(p.F, p.T), o.Seed+uint64(i), 1<<21)
+	slotted, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
+		rr, err := trapdoorRun(p, active, adversary.NewPrefix(p.F, p.T), o.TrialSeed(pointKey(ptX5, 0), i), 1<<21)
 		if err != nil {
 			return 0, err
 		}
@@ -35,16 +36,16 @@ func runX5(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	unslottedXs, err := parallelMap(o.trials(), func(i int) (float64, error) {
+	unslottedSum, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 		res, err := unslotted.Run(&unslotted.Config{
 			F:    p.F,
 			T:    p.T,
-			Seed: o.Seed + uint64(i),
+			Seed: o.TrialSeed(pointKey(ptX5, 1), i),
 			N:    active,
 			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
 				return trapdoor.MustNew(p, r)
 			},
-			Phase:     unslotted.RandomPhases(active, o.Seed+uint64(i)+77),
+			Phase:     unslotted.RandomPhases(active, o.TrialSeed(pointKey(ptX5, 2), i)),
 			Adversary: adversary.NewPrefix(p.F, p.T),
 			MaxRounds: 1 << 21,
 		})
@@ -65,8 +66,8 @@ func runX5(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sMed := stats.Summarize(slotted).Median
-	uMed := stats.Summarize(unslottedXs).Median
+	sMed := slotted.Median
+	uMed := unslottedSum.Median
 	tbl.AddRow(active, p.F, p.T, sMed, uMed, uMed/sMed, 2*uMed/sMed)
 	tbl.Notes = append(tbl.Notes,
 		"unslotted: nodes have random half-slot phase offsets; each protocol round spans two half-slots, messages sent in both",
@@ -95,17 +96,17 @@ func runX6(o Options) (*Table, error) {
 	}
 	for _, tJam := range ts {
 		p := trapdoor.Params{N: 16, F: f, T: maxInt(tJam, 1)}
-		consistent := true
-		xs, err := parallelMap(o.trials(), func(i int) (float64, error) {
+		var inconsistent atomic.Bool
+		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 			nodes := make([]*replog.Node, members)
 			var adv sim.Adversary
 			if tJam > 0 {
-				adv = adversary.NewRandom(f, tJam, o.Seed+uint64(i))
+				adv = adversary.NewRandom(f, tJam, o.TrialSeed(pointKey(ptX6Adversary, uint64(tJam)), i))
 			}
 			cfg := &sim.Config{
 				F:    f,
 				T:    maxInt(tJam, 1),
-				Seed: o.Seed + uint64(1000*tJam+i),
+				Seed: o.TrialSeed(pointKey(ptX6Sim, uint64(tJam)), i),
 				NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
 					n, err := replog.New(replog.Config{
 						Members: members, F: f, Commands: commands, Settle: 200,
@@ -137,7 +138,7 @@ func runX6(o Options) (*Table, error) {
 				log := n.Log()
 				for k, v := range log {
 					if v != commands[k] {
-						consistent = false
+						inconsistent.Store(true)
 					}
 				}
 				if n.CommitIndex() < cmds {
@@ -150,10 +151,10 @@ func runX6(o Options) (*Table, error) {
 			return nil, err
 		}
 		verdict := "yes"
-		if !consistent {
+		if inconsistent.Load() {
 			verdict = "NO"
 		}
-		tbl.AddRow(members, f, tJam, cmds, stats.Summarize(xs).Median, verdict)
+		tbl.AddRow(members, f, tJam, cmds, s.Median, verdict)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"pipeline: Trapdoor synchronization (electing the leader) → leader replicates entries → followers acknowledge → quorum commit",
@@ -185,9 +186,10 @@ func runX7(o Options) (*Table, error) {
 	if o.Quick {
 		cases = cases[:2]
 	}
-	for _, c := range cases {
-		merged := true
-		xs, err := parallelMap(o.trials(), func(i int) (float64, error) {
+	for ci, c := range cases {
+		ci, c := ci, c
+		var conflicting atomic.Bool
+		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 			nodes := make([]*multihop.RelayNode, c.topo.N())
 			// Stop at network-wide agreement: every node synced on the
 			// same scheme with the same round value.
@@ -214,14 +216,14 @@ func runX7(o Options) (*Table, error) {
 			}
 			res, err := multihop.Run(&multihop.Config{
 				F: p.F, T: p.T,
-				Seed:     o.Seed + uint64(i),
+				Seed:     o.TrialSeed(pointKey(ptX7Sim, uint64(ci)), i),
 				Topology: c.topo,
 				NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
 					n := multihop.MustNewRelay(p, r)
 					nodes[id] = n
 					return n
 				},
-				Adversary: adversary.NewRandom(p.F, p.T, o.Seed+uint64(i)+3),
+				Adversary: adversary.NewRandom(p.F, p.T, o.TrialSeed(pointKey(ptX7Adversary, uint64(ci)), i)),
 				MaxRounds: 4_000_000,
 				RunToMax:  true,
 				StopWhen:  agreed,
@@ -230,7 +232,7 @@ func runX7(o Options) (*Table, error) {
 				return 0, err
 			}
 			if res.HitMaxRounds || !agreed(res.Rounds) {
-				merged = false
+				conflicting.Store(true)
 				return 0, checkFailf("X7: %s trial %d never agreed", c.name, i)
 			}
 			return float64(res.Rounds), nil
@@ -239,10 +241,10 @@ func runX7(o Options) (*Table, error) {
 			return nil, err
 		}
 		verdict := "single scheme"
-		if !merged {
+		if conflicting.Load() {
 			verdict = "CONFLICTING"
 		}
-		tbl.AddRow(c.name, c.topo.N(), c.topo.Diameter(), stats.Summarize(xs).Median, verdict)
+		tbl.AddRow(c.name, c.topo.N(), c.topo.Diameter(), s.Median, verdict)
 	}
 	tbl.Notes = append(tbl.Notes,
 		"relay extension: regional Trapdoor elections + relays that re-announce and merge schemes (larger id wins)",

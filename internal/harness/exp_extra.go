@@ -45,8 +45,10 @@ func compareProtocols(o Options, tbl *Table, f, tJam, active int,
 	}, maxRounds uint64) error {
 	for _, proto := range protos {
 		ps := protoStats{}
-		results, err := parallelRuns(o.trials(), func(i int) (runResult, error) {
-			seed := o.Seed + uint64(i)
+		results, err := o.parallelRuns(o.trials(), func(i int) (runResult, error) {
+			// Every protocol sees the same per-trial seed so the comparison
+			// holds the randomness fixed across rows.
+			seed := o.TrialSeed(pointKey(ptCompare, 0), i)
 			check := props.NewChecker(active)
 			cfg := &sim.Config{
 				F:    f,
@@ -174,7 +176,7 @@ func runX3(o Options) (*Table, error) {
 		cfg := &sim.Config{
 			F:    f,
 			T:    tJam,
-			Seed: o.Seed + uint64(i),
+			Seed: o.TrialSeed(pointKey(ptX3, 0), i),
 			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
 				n := trapdoor.MustNew(p, r)
 				nodes[id] = n

@@ -75,8 +75,8 @@ func runT1(o Options) (*Table, error) {
 		worstMed, bestMed := -1.0, -1.0
 		for n := 2; n <= nBound; n *= 4 {
 			n := n
-			xs, err := parallelMap(o.trials(), func(i int) (float64, error) {
-				res, err := lowerbound.FirstClear(reg, n, f, tJam, 1<<21, o.Seed+uint64(1000*nBound+100*n+i))
+			s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
+				res, err := lowerbound.FirstClear(reg, n, f, tJam, 1<<21, o.TrialSeed(pointKey(ptT1, uint64(nBound)<<16|uint64(n)), i))
 				if err != nil {
 					return 0, err
 				}
@@ -88,7 +88,7 @@ func runT1(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			med := stats.Summarize(xs).Median
+			med := s.Median
 			if med > worstMed {
 				worstN, worstMed = n, med
 			}
@@ -133,9 +133,9 @@ func runT4(o Options) (*Table, error) {
 		if width > f {
 			width = f
 		}
-		xs, err := parallelMap(trials, func(i int) (float64, error) {
+		s, err := o.summarizeTrials(trials, func(i int) (float64, error) {
 			reg := lowerbound.UniformRegular{M: width, P: 0.5}
-			res := lowerbound.TwoNodeGame(reg, reg, f, tJam, 0, 1<<20, o.Seed+uint64(100000*tJam+i))
+			res := lowerbound.TwoNodeGame(reg, reg, f, tJam, 0, 1<<20, o.TrialSeed(pointKey(ptT4, uint64(tJam)), i))
 			if !res.Met {
 				return float64(uint64(1) << 20), nil
 			}
@@ -144,9 +144,9 @@ func runT4(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		mean := stats.Mean(xs)
+		mean := s.Mean
 		theory := lowerbound.Theorem4Rounds(f, float64(tJam), math.Exp(-1)) // log(1/ε) = 1
-		best, _ := lowerbound.BestUniformWidth(f, tJam, 60, 1<<16, o.Seed+uint64(tJam))
+		best, _ := lowerbound.BestUniformWidth(f, tJam, 60, 1<<16, o.Seed+uint64(tJam), o.workers())
 		theories = append(theories, theory)
 		means = append(means, mean)
 		holds := "yes"

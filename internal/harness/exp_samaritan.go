@@ -51,9 +51,9 @@ func runT18a(o Options) (*Table, error) {
 	p := samaritan.Params{N: nBound, F: f, T: tBudget}
 	var theories, medians []float64
 	for _, tp := range tPrimes {
-		xs, err := parallelMap(o.trials(), func(i int) (float64, error) {
+		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 			rr, err := samaritanRun(p, active, sim.Simultaneous{Count: active},
-				adversary.NewLowPrefix(f, tp), o.Seed+uint64(777*tp+i), 1<<22)
+				adversary.NewLowPrefix(f, tp), o.TrialSeed(pointKey(ptT18a, uint64(tp)), i), 1<<22)
 			if err != nil {
 				return 0, err
 			}
@@ -65,7 +65,6 @@ func runT18a(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := stats.Summarize(xs)
 		theory := lowerbound.Theorem18GoodRounds(nBound, float64(tp))
 		theories = append(theories, theory)
 		medians = append(medians, s.Median)
@@ -98,11 +97,11 @@ func runT18b(o Options) (*Table, error) {
 	for _, f := range fs {
 		tBudget := f / 2
 		p := samaritan.Params{N: nBound, F: f, T: tBudget}
-		xs, err := parallelMap(o.trials(), func(i int) (float64, error) {
+		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 			rr, err := samaritanRun(p, active,
 				sim.Staggered{Count: active, Gap: p.EpochLen(1)},
-				adversary.NewRandom(f, tBudget, o.Seed+uint64(13*f+i)),
-				o.Seed+uint64(555*f+i), 1<<23)
+				adversary.NewRandom(f, tBudget, o.TrialSeed(pointKey(ptT18bAdversary, uint64(f)), i)),
+				o.TrialSeed(pointKey(ptT18bSim, uint64(f)), i), 1<<23)
 			if err != nil {
 				return 0, err
 			}
@@ -114,7 +113,6 @@ func runT18b(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := stats.Summarize(xs)
 		theory := lowerbound.Theorem18GeneralRounds(nBound, float64(f))
 		theories = append(theories, theory)
 		medians = append(medians, s.Median)
@@ -145,9 +143,9 @@ func runX1(o Options) (*Table, error) {
 	tp := trapdoor.Params{N: nBound, F: f, T: tBudget}
 	sp := samaritan.Params{N: nBound, F: f, T: tBudget}
 	for _, prime := range tPrimes {
-		tdXs, err := parallelMap(o.trials(), func(i int) (float64, error) {
+		tdSum, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 			rr, err := trapdoorRun(tp, active, adversary.NewLowPrefix(f, prime),
-				o.Seed+uint64(101*prime+i), 1<<22)
+				o.TrialSeed(pointKey(ptX1Trapdoor, uint64(prime)), i), 1<<22)
 			if err != nil {
 				return 0, err
 			}
@@ -159,9 +157,9 @@ func runX1(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gsXs, err := parallelMap(o.trials(), func(i int) (float64, error) {
+		gsSum, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 			rr, err := samaritanRun(sp, active, sim.Simultaneous{Count: active},
-				adversary.NewLowPrefix(f, prime), o.Seed+uint64(202*prime+i), 1<<23)
+				adversary.NewLowPrefix(f, prime), o.TrialSeed(pointKey(ptX1Samaritan, uint64(prime)), i), 1<<23)
 			if err != nil {
 				return 0, err
 			}
@@ -173,8 +171,8 @@ func runX1(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		td := stats.Summarize(tdXs).Median
-		gs := stats.Summarize(gsXs).Median
+		td := tdSum.Median
+		gs := gsSum.Median
 		winner := "Trapdoor"
 		if gs < td {
 			winner = "Samaritan"

@@ -51,8 +51,8 @@ func runT10a(o Options) (*Table, error) {
 	var theories, medians []float64
 	for _, n := range ns {
 		p := trapdoor.Params{N: n, F: f, T: tJam}
-		xs, err := parallelMap(o.trials(), func(i int) (float64, error) {
-			rr, err := trapdoorRun(p, active, adversary.NewPrefix(f, tJam), o.Seed+uint64(7000*n+i), 1<<21)
+		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
+			rr, err := trapdoorRun(p, active, adversary.NewPrefix(f, tJam), o.TrialSeed(pointKey(ptT10a, uint64(n)), i), 1<<21)
 			if err != nil {
 				return 0, err
 			}
@@ -64,7 +64,6 @@ func runT10a(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := stats.Summarize(xs)
 		theory := lowerbound.Theorem10Rounds(float64(n), f, tJam)
 		theories = append(theories, theory)
 		medians = append(medians, s.Median)
@@ -93,8 +92,8 @@ func runT10b(o Options) (*Table, error) {
 	var theories, medians []float64
 	for _, tJam := range ts {
 		p := trapdoor.Params{N: nBound, F: f, T: tJam}
-		xs, err := parallelMap(o.trials(), func(i int) (float64, error) {
-			rr, err := trapdoorRun(p, active, adversary.NewPrefix(f, tJam), o.Seed+uint64(9000*tJam+i), 1<<22)
+		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
+			rr, err := trapdoorRun(p, active, adversary.NewPrefix(f, tJam), o.TrialSeed(pointKey(ptT10b, uint64(tJam)), i), 1<<22)
 			if err != nil {
 				return 0, err
 			}
@@ -106,7 +105,6 @@ func runT10b(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s := stats.Summarize(xs)
 		theory := lowerbound.Theorem10Rounds(nBound, f, float64(tJam))
 		theories = append(theories, theory)
 		medians = append(medians, s.Median)
@@ -143,9 +141,9 @@ func runT10c(o Options) (*Table, error) {
 	for _, c := range configs {
 		p := trapdoor.Params{N: c.nBound, F: c.f, T: c.tJam}
 		multi, viol := 0, 0
-		results, err := parallelMap(runs, func(i int) (float64, error) {
+		results, err := o.parallelMap(runs, func(i int) (float64, error) {
 			rr, err := trapdoorRun(p, c.active, adversary.NewPrefix(c.f, c.tJam),
-				o.Seed+uint64(31*c.nBound+17*c.active+i), 1<<21)
+				o.TrialSeed(pointKey(ptT10c, uint64(c.nBound)<<16|uint64(c.active)), i), 1<<21)
 			if err != nil {
 				return 0, err
 			}
@@ -215,7 +213,7 @@ func runL9(o Options) (*Table, error) {
 			cfg := &sim.Config{
 				F:    p.F,
 				T:    p.T,
-				Seed: o.Seed + uint64(1000*c.active+trial),
+				Seed: o.TrialSeed(pointKey(ptL9, uint64(c.active)<<16|uint64(c.f)<<8|uint64(c.tJam)<<1|boolBit(c.noKnockout)), trial),
 				NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
 					return trapdoor.MustNew(p, r)
 				},

@@ -2,8 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"wsync/internal/sim"
 )
@@ -18,6 +16,10 @@ type Options struct {
 	// Quick shrinks sweeps to their smallest meaningful grids (used by CI
 	// and -short benchmarks).
 	Quick bool
+	// Parallelism is the number of worker goroutines the runner fans each
+	// sweep point's trials out across; 0 means one per CPU. Results are
+	// bit-identical at every parallelism level (see runner.go).
+	Parallelism int
 }
 
 // DefaultTrials is the per-point repetition count when Options.Trials is 0.
@@ -32,6 +34,16 @@ func (o Options) trials() int {
 	}
 	return DefaultTrials
 }
+
+// EffectiveTrials returns the per-sweep-point repetition count the
+// experiments will actually use after defaulting (some experiments scale
+// it further, e.g. the agreement sweeps multiply it). Benchmark reports
+// record it so artifacts remain comparable if the defaults ever change.
+func (o Options) EffectiveTrials() int { return o.trials() }
+
+// EffectiveParallelism returns the worker count the runner will actually
+// use after defaulting.
+func (o Options) EffectiveParallelism() int { return o.workers() }
 
 // Experiment is one reproducible artifact of the paper.
 type Experiment struct {
@@ -75,43 +87,6 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// parallelMap runs fn for i in [0, n) across worker goroutines and collects
-// the results in order. fn must be safe for concurrent invocation with
-// distinct i.
-func parallelMap(n int, fn func(i int) (float64, error)) ([]float64, error) {
-	out := make([]float64, n)
-	errs := make([]error, n)
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
 // WeightObserver tracks the broadcast weight W(r) = Σ_u p_u^r over a run
 // (Definition 7 / Lemma 9). Attach it together with Config.ProbeWeights.
 type WeightObserver struct {
@@ -153,41 +128,6 @@ type runResult struct {
 	res        *sim.Result
 	violations int
 	leaders    int
-}
-
-// parallelRuns is parallelMap for full run results.
-func parallelRuns(n int, fn func(i int) (runResult, error)) ([]runResult, error) {
-	out := make([]runResult, n)
-	errs := make([]error, n)
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }
 
 func checkFailf(format string, args ...any) error {

@@ -66,23 +66,26 @@ func TestFormatFloat(t *testing.T) {
 }
 
 func TestParallelMapOrderAndErrors(t *testing.T) {
-	xs, err := parallelMap(32, func(i int) (float64, error) { return float64(i * i), nil })
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, x := range xs {
-		if x != float64(i*i) {
-			t.Fatalf("xs[%d] = %v", i, x)
+	for _, par := range []int{1, 4, 32} {
+		o := Options{Parallelism: par}
+		xs, err := o.parallelMap(32, func(i int) (float64, error) { return float64(i * i), nil })
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	_, err = parallelMap(8, func(i int) (float64, error) {
-		if i == 5 {
-			return 0, checkFailf("boom")
+		for i, x := range xs {
+			if x != float64(i*i) {
+				t.Fatalf("parallelism %d: xs[%d] = %v", par, i, x)
+			}
 		}
-		return 0, nil
-	})
-	if err == nil {
-		t.Fatal("error swallowed")
+		_, err = o.parallelMap(8, func(i int) (float64, error) {
+			if i == 5 {
+				return 0, checkFailf("boom")
+			}
+			return 0, nil
+		})
+		if err == nil {
+			t.Fatal("error swallowed")
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -109,6 +110,29 @@ func (t *Table) Markdown(w io.Writer) error {
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// tableJSON is the wire form of a Table: lower-case keys, stable field
+// order, no omitted grid fields, so CI tooling can diff reports across
+// commits without schema guessing.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON renders the table in its machine-readable form.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+	})
+}
+
+// JSON writes the table as one JSON object followed by a newline.
+func (t *Table) JSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t)
 }
 
 // CSV writes the table (header plus rows) in CSV form.

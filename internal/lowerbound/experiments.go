@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wsync/internal/adversary"
+	"wsync/internal/pool"
 	"wsync/internal/rng"
 	"wsync/internal/sim"
 )
@@ -105,25 +106,41 @@ func TwoNodeGame(u, v Regular, f, t int, offset uint64, maxRounds uint64, seed u
 // schedules for every width M in [1..F] and returns the width minimizing
 // the mean rendezvous time, along with the per-width means. It reproduces
 // the Theorem 4 proof's extremal structure: the optimum is near min(F, 2t).
-func BestUniformWidth(f, t int, trials int, maxRounds uint64, seed uint64) (best int, means []float64) {
+//
+// The (width, trial) grid is fanned out across `workers` goroutines via
+// the shared work-stealing scheduler (0 means one per CPU). Per-game
+// seeds depend only on (seed, width, trial) and the per-width reduction
+// sums in trial order, so the result is bit-identical at every worker
+// count.
+func BestUniformWidth(f, t int, trials int, maxRounds uint64, seed uint64, workers int) (best int, means []float64) {
 	means = make([]float64, f+1)
+	// Widths m <= t are fully jammable: rendezvous never happens, so they
+	// cost the full budget and never enter the job grid.
+	for m := 1; m <= t && m <= f; m++ {
+		means[m] = float64(maxRounds)
+	}
+	playable := f - t // m in [t+1, f]
+	if playable <= 0 {
+		return 1, means
+	}
+	rounds := make([]float64, playable*trials) // rounds[(m-t-1)*trials + i]
+	pool.Run(workers, playable*trials, func(_, job int) {
+		m, i := t+1+job/trials, job%trials
+		res := TwoNodeGame(UniformRegular{M: m, P: 0.5}, UniformRegular{M: m, P: 0.5},
+			f, t, 0, maxRounds, seed+uint64(i)*7919+uint64(m))
+		if res.Met {
+			rounds[job] = float64(res.Rounds)
+		} else {
+			rounds[job] = float64(maxRounds)
+		}
+	})
+
 	best = 1
 	bestMean := -1.0
-	for m := 1; m <= f; m++ {
-		if m <= t {
-			// Every used frequency can be jammed; rendezvous never happens.
-			means[m] = float64(maxRounds)
-			continue
-		}
+	for m := t + 1; m <= f; m++ {
 		total := 0.0
 		for i := 0; i < trials; i++ {
-			res := TwoNodeGame(UniformRegular{M: m, P: 0.5}, UniformRegular{M: m, P: 0.5},
-				f, t, 0, maxRounds, seed+uint64(i)*7919+uint64(m))
-			if res.Met {
-				total += float64(res.Rounds)
-			} else {
-				total += float64(maxRounds)
-			}
+			total += rounds[(m-t-1)*trials+i]
 		}
 		means[m] = total / float64(trials)
 		if bestMean < 0 || means[m] < bestMean {

@@ -2,6 +2,7 @@ package lowerbound
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -143,7 +144,11 @@ func TestQuickLemma2(t *testing.T) {
 		got := EstimateNoSingleton(m, probs, 1500, uint64(sRaw)<<8|uint64(mRaw))
 		return got >= Lemma2Bound(s)*0.7 // generous MC slack
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	// Fixed generator: the property is statistical (a Monte-Carlo estimate
+	// against a slackened bound), so a time-seeded input stream makes the
+	// test flaky in CI.
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -258,7 +263,7 @@ func TestTwoNodeGameHarderWithMoreJamming(t *testing.T) {
 // optimal spreading width is near min(F, 2t), and in particular beats
 // spreading across the whole band.
 func TestBestUniformWidth(t *testing.T) {
-	best, means := BestUniformWidth(8, 2, 250, 1<<16, 77)
+	best, means := BestUniformWidth(8, 2, 250, 1<<16, 77, 4)
 	if best <= 2 {
 		t.Fatalf("best width %d within jammed region", best)
 	}

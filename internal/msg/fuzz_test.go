@@ -1,9 +1,63 @@
 package msg
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 )
+
+// corpusMessages are the seed inputs for FuzzDecodeRoundTrip: one
+// well-formed message per kind plus boundary shapes (max reports, empty
+// and max payload). The committed corpus under testdata/fuzz mirrors
+// their encodings so CI fuzzing starts from structured inputs.
+func corpusMessages() []Message {
+	full := make([]Report, MaxReports)
+	for i := range full {
+		full[i] = Report{UID: uint64(i) * 7919, Count: uint32(i)}
+	}
+	return []Message{
+		{Kind: KindContender, TS: Timestamp{Age: 1, UID: 42}},
+		{Kind: KindContender, TS: Timestamp{Age: ^uint64(0), UID: ^uint64(0)},
+			Special: true, Fallback: true, Epoch: 65535, Super: 255},
+		{Kind: KindLeader, TS: Timestamp{Age: 9, UID: 3}, Round: 1 << 40, Scheme: 77},
+		{Kind: KindSamaritan, TS: Timestamp{Age: 5, UID: 8},
+			Reports: []Report{{UID: 1, Count: 2}}, Special: true, Epoch: 3, Super: 1},
+		{Kind: KindSamaritan, TS: Timestamp{Age: 6, UID: 9}, Reports: full},
+		{Kind: KindData, TS: Timestamp{Age: 2, UID: 4}},
+		{Kind: KindData, TS: Timestamp{Age: 2, UID: 4}, Payload: bytes.Repeat([]byte{0xAB}, MaxPayload)},
+	}
+}
+
+// FuzzDecodeRoundTrip is the native fuzz target CI runs: Decode must never
+// panic, and any bytes it accepts must re-encode to exactly the input
+// (so the codec has one canonical form and no parser differentials).
+func FuzzDecodeRoundTrip(f *testing.F) {
+	for _, m := range corpusMessages() {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatalf("corpus message unencodable: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindContender)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v (%+v)", err, m)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes:\nin:  %x\nout: %x", data, out)
+		}
+		if !Equal(m, m.Clone()) {
+			t.Fatalf("clone not equal: %+v", m)
+		}
+	})
+}
 
 // Property: Decode never panics and never fabricates success on random
 // bytes — it either errors or returns a message that re-encodes to the

@@ -1,0 +1,60 @@
+//go:build ignore
+
+// gen_corpus.go regenerates the committed seed corpus for
+// FuzzDecodeRoundTrip. Run from the repository root:
+//
+//	go run ./internal/msg/testdata/gen_corpus.go
+//
+// The corpus mirrors the f.Add seeds in fuzz_test.go so that CI fuzzing
+// (go test -fuzz) starts from every message kind and boundary shape even
+// before the in-process seeds are merged.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"wsync/internal/msg"
+)
+
+func main() {
+	full := make([]msg.Report, msg.MaxReports)
+	for i := range full {
+		full[i] = msg.Report{UID: uint64(i) * 7919, Count: uint32(i)}
+	}
+	msgs := []msg.Message{
+		{Kind: msg.KindContender, TS: msg.Timestamp{Age: 1, UID: 42}},
+		{Kind: msg.KindContender, TS: msg.Timestamp{Age: ^uint64(0), UID: ^uint64(0)},
+			Special: true, Fallback: true, Epoch: 65535, Super: 255},
+		{Kind: msg.KindLeader, TS: msg.Timestamp{Age: 9, UID: 3}, Round: 1 << 40, Scheme: 77},
+		{Kind: msg.KindSamaritan, TS: msg.Timestamp{Age: 5, UID: 8},
+			Reports: []msg.Report{{UID: 1, Count: 2}}, Special: true, Epoch: 3, Super: 1},
+		{Kind: msg.KindSamaritan, TS: msg.Timestamp{Age: 6, UID: 9}, Reports: full},
+		{Kind: msg.KindData, TS: msg.Timestamp{Age: 2, UID: 4}},
+		{Kind: msg.KindData, TS: msg.Timestamp{Age: 2, UID: 4}, Payload: bytes.Repeat([]byte{0xAB}, msg.MaxPayload)},
+	}
+	dir := filepath.Join("internal", "msg", "testdata", "fuzz", "FuzzDecodeRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i, m := range msgs {
+		data, err := msg.Encode(m)
+		if err != nil {
+			log.Fatalf("seed %d: %v", i, err)
+		}
+		write(fmt.Sprintf("seed-%s-%d", m.Kind, i), data)
+	}
+	write("seed-empty", nil)
+	write("seed-short", []byte{1})
+	fmt.Println("corpus written to", dir)
+}

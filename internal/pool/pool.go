@@ -1,0 +1,134 @@
+// Package pool is the repository's work-stealing index scheduler: it
+// executes fn(worker, i) for every index i in [0, n) across a fixed set
+// of worker goroutines. The experiment harness fans Monte-Carlo trials
+// through it, and the lower-bound sweeps fan (width, trial) grids.
+//
+// Workers own contiguous index spans; a worker that drains its span
+// steals the upper half of another worker's remaining span. Indices of
+// the same batch can vary enormously in cost (a simulation runs until
+// synchronization), so static chunking alone leaves workers idle behind
+// one slow index; stealing keeps them busy without the channel-per-index
+// overhead of a shared queue.
+//
+// The scheduler only decides WHERE an index executes — callers that need
+// deterministic results must make outputs a pure function of the index
+// (the harness derives per-trial RNG seeds from trial identity alone).
+package pool
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// span is a half-open index interval [lo, hi) packed into one uint64
+// (lo in the high 32 bits) so owners and thieves can race on it with CAS.
+type span struct{ bits atomic.Uint64 }
+
+func packSpan(lo, hi uint32) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+func unpackSpan(v uint64) (lo, hi uint32) { return uint32(v >> 32), uint32(v) }
+
+// pop claims the owner's next index, or reports an empty span.
+func (s *span) pop() (int, bool) {
+	for {
+		v := s.bits.Load()
+		lo, hi := unpackSpan(v)
+		if lo >= hi {
+			return 0, false
+		}
+		if s.bits.CompareAndSwap(v, packSpan(lo+1, hi)) {
+			return int(lo), true
+		}
+	}
+}
+
+// stealHalf removes and returns the upper half of the span. Spans with
+// fewer than two remaining indices are not worth a steal: the owner
+// finishes them faster than a thief can take them.
+func (s *span) stealHalf() (stolen uint64, ok bool) {
+	for {
+		v := s.bits.Load()
+		lo, hi := unpackSpan(v)
+		if hi-lo < 2 {
+			return 0, false
+		}
+		mid := lo + (hi-lo)/2
+		if s.bits.CompareAndSwap(v, packSpan(lo, mid)) {
+			return packSpan(mid, hi), true
+		}
+	}
+}
+
+// steal refills worker w's span from the first victim with stealable work,
+// scanning from w's right neighbor so concurrent thieves spread out over
+// victims instead of contending on one.
+func steal(spans []span, w int) bool {
+	for off := 1; off < len(spans); off++ {
+		if stolen, ok := spans[(w+off)%len(spans)].stealHalf(); ok {
+			spans[w].bits.Store(stolen)
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes fn(worker, i) for every i in [0, n) across `workers`
+// goroutines (0 or negative means one per CPU; capped at n; an effective
+// count of 1 runs inline). Every index runs exactly once; the worker
+// argument identifies the executing goroutine (0 <= worker < effective
+// worker count) so callers can keep per-worker accumulators. fn must be
+// safe for concurrent invocation with distinct i. n must fit in uint32;
+// batches here are trial counts, far below it.
+func Run(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if uint64(n) > math.MaxUint32 {
+		// Span packing holds indices in 32 bits; wrapping would silently
+		// run some indices twice and skip others. Fail loudly instead.
+		panic(fmt.Sprintf("pool: batch of %d exceeds the uint32 index space", n))
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	spans := make([]span, workers)
+	lo, chunk, rem := 0, n/workers, n%workers
+	for w := range spans {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		spans[w].bits.Store(packSpan(uint32(lo), uint32(hi)))
+		lo = hi
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i, ok := spans[w].pop()
+				if !ok {
+					if !steal(spans, w) {
+						return
+					}
+					continue
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

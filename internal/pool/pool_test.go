@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunEveryIndexOnce checks the scheduler's contract: every index
+// executes exactly once, worker ids stay in range, and wildly uneven
+// per-index costs (the trigger for stealing) don't break either property.
+func TestRunEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 17}, {4, 4}, {4, 64}, {8, 3}, {16, 1000}, {3, 0}, {0, 5},
+	} {
+		counts := make([]atomic.Int32, tc.n)
+		var badWorker atomic.Bool
+		Run(tc.workers, tc.n, func(w, i int) {
+			if w < 0 || (tc.workers > 0 && w >= tc.workers) {
+				badWorker.Store(true)
+			}
+			counts[i].Add(1)
+			if i%7 == 0 { // lopsided work to force steals
+				x := uint64(i + 1)
+				for k := 0; k < 20000; k++ {
+					x ^= x << 13
+					x ^= x >> 7
+				}
+				if x == 0 {
+					t.Error("unreachable, defeats dead-code elimination")
+				}
+			}
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d n=%d: index %d ran %d times", tc.workers, tc.n, i, got)
+			}
+		}
+		if badWorker.Load() {
+			t.Fatalf("workers=%d n=%d: worker id out of range", tc.workers, tc.n)
+		}
+	}
+}
+
+// TestSpanOps pins the packed-span primitives the scheduler races on.
+func TestSpanOps(t *testing.T) {
+	var s span
+	s.bits.Store(packSpan(3, 7))
+	if i, ok := s.pop(); !ok || i != 3 {
+		t.Fatalf("pop = %d, %v", i, ok)
+	}
+	stolen, ok := s.stealHalf() // remaining [4,7) -> keep [4,5), steal [5,7)
+	if !ok {
+		t.Fatal("stealHalf failed on span of 3")
+	}
+	if lo, hi := unpackSpan(stolen); lo != 5 || hi != 7 {
+		t.Fatalf("stolen [%d,%d), want [5,7)", lo, hi)
+	}
+	if i, ok := s.pop(); !ok || i != 4 {
+		t.Fatalf("pop after steal = %d, %v", i, ok)
+	}
+	if _, ok := s.pop(); ok {
+		t.Fatal("pop on empty span succeeded")
+	}
+	if _, ok := s.stealHalf(); ok {
+		t.Fatal("stealHalf on empty span succeeded")
+	}
+	s.bits.Store(packSpan(9, 10))
+	if _, ok := s.stealHalf(); ok {
+		t.Fatal("stole a singleton span (owner should finish it)")
+	}
+}

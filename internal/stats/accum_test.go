@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// testSample returns a deterministic sample with heavy repetition
+// (round-count-like) plus fractional values.
+func testSample(n int) []float64 {
+	xs := make([]float64, n)
+	state := uint64(88172645463325252)
+	for i := range xs {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		if i%5 == 0 {
+			xs[i] = float64(state%97) / 8
+		} else {
+			xs[i] = float64(state % 23)
+		}
+	}
+	return xs
+}
+
+// TestAccumulatorMatchesSummarize is the accumulator's core contract: for
+// any partition of the sample across accumulators, the merged Summary is
+// bit-identical to Summarize of the whole sample.
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	xs := testSample(400)
+	want := Summarize(xs)
+	for _, parts := range []int{1, 2, 3, 8, 31} {
+		accs := make([]Accumulator, parts)
+		for i, x := range xs {
+			accs[i%parts].Add(x)
+		}
+		var merged Accumulator
+		for i := range accs {
+			merged.Merge(&accs[i])
+		}
+		if merged.N() != len(xs) {
+			t.Fatalf("%d parts: N = %d", parts, merged.N())
+		}
+		if got := merged.Summary(); got != want {
+			t.Errorf("%d parts: summary %+v != %+v", parts, got, want)
+		}
+	}
+}
+
+func TestAccumulatorEdgeCases(t *testing.T) {
+	var a Accumulator
+	if a.Summary() != (Summary{}) {
+		t.Error("empty accumulator summary not zero")
+	}
+	a.Merge(&Accumulator{}) // merging empties is a no-op
+	a.Merge(nil)
+	if a.N() != 0 {
+		t.Error("merge of empties added samples")
+	}
+	a.Add(3)
+	s := a.Summary()
+	if s.N != 1 || s.Mean != 3 || s.Median != 3 || s.StdDev != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	if got := a.Values(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Values = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(NaN) did not panic")
+		}
+	}()
+	a.Add(math.NaN())
+}
+
+func TestAccumulatorValuesSorted(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{5, 1, 3, 1, 5, 5} {
+		a.Add(x)
+	}
+	got := a.Values()
+	want := []float64{1, 1, 3, 5, 5, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}

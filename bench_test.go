@@ -518,33 +518,68 @@ func BenchmarkRunnerScaling(b *testing.B) {
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed in node-rounds
-// per second with a 128-node population.
+// per second (node-rounds = Σ over rounds of awake nodes, counted by the
+// engine). It is the tracked regression metric of the medium resolvers:
+// each workload runs once under the frequency-indexed fast path
+// (Config.Medium zero value) and once under the legacy O(F + N) scan
+// oracle, so the indexed/scan ratio per workload IS the speedup.
+//
+//   - dense/F=8: the historical workload — every node awake from round 1
+//     on a narrow band. The indexed path's win here is skipping the
+//     per-round frequency sweep and schedule-slot scans.
+//   - sparse/F=128: the -full sweep tier's shape — a wide band and a large
+//     schedule whose nodes trickle in, so the awake population is a small
+//     fraction of N and F. This is where O(active) resolution separates
+//     from O(F + N) scanning (the acceptance bar is ≥ 2× at F=128).
 func BenchmarkEngineThroughput(b *testing.B) {
-	const n = 128
-	var rounds uint64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cfg := &sim.Config{
-			F:    8,
-			T:    2,
-			Seed: uint64(i),
-			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
-				return baseline.NewWakeup(256, 8, r)
-			},
-			Schedule:       sim.Simultaneous{Count: n},
-			Adversary:      adversary.NewRandom(8, 2, uint64(i)),
-			MaxRounds:      2000,
-			RunToMaxRounds: true,
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rounds += res.Stats.Rounds
+	cases := []struct {
+		name     string
+		f, t     int
+		schedule sim.Schedule
+		rounds   uint64
+	}{
+		{"dense/F=8", 8, 2, sim.Simultaneous{Count: 128}, 2000},
+		{"sparse/F=128", 128, 2, sim.Staggered{Count: 8192, Gap: 64}, 4096},
 	}
-	b.StopTimer()
-	nodeRounds := float64(rounds) * n
-	b.ReportMetric(nodeRounds/b.Elapsed().Seconds(), "node-rounds/s")
+	mediums := []struct {
+		name   string
+		medium sim.MediumPath
+	}{
+		{"indexed", sim.MediumIndexed},
+		{"scan", sim.MediumScan},
+	}
+	for _, c := range cases {
+		c := c
+		for _, m := range mediums {
+			m := m
+			b.Run(m.name+"/"+c.name, func(b *testing.B) {
+				var nodeRounds uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg := &sim.Config{
+						F:    c.f,
+						T:    c.t,
+						Seed: uint64(i),
+						NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+							return baseline.NewWakeup(256, c.f, r)
+						},
+						Schedule:       c.schedule,
+						Adversary:      adversary.NewRandom(c.f, c.t, uint64(i)),
+						MaxRounds:      c.rounds,
+						RunToMaxRounds: true,
+						Medium:         m.medium,
+					}
+					res, err := sim.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodeRounds += res.Stats.NodeRounds
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(nodeRounds)/b.Elapsed().Seconds(), "node-rounds/s")
+			})
+		}
+	}
 }
 
 // BenchmarkEngineConcurrent measures the goroutine-per-agent engine on the

@@ -6,6 +6,7 @@
 //	wexp                         # run all experiments, text tables to stdout
 //	wexp -run T10a,T10b          # run selected experiments
 //	wexp -quick                  # smallest grids (seconds, for smoke tests)
+//	wexp -full                   # large grids: N to 16384, F to 128, dense t
 //	wexp -trials 50 -seed 7      # more repetitions / different seeds
 //	wexp -parallel 4             # trial-runner worker count (0 = one per CPU)
 //	wexp -format markdown        # markdown tables (EXPERIMENTS.md bodies)
@@ -42,6 +43,7 @@ type report struct {
 	EffectiveTrials      int           `json:"effective_trials"`
 	Seed                 uint64        `json:"seed"`
 	Quick                bool          `json:"quick"`
+	Full                 bool          `json:"full"`
 	Parallelism          int           `json:"parallelism"`
 	EffectiveParallelism int           `json:"effective_parallelism"`
 	Experiments          []reportEntry `json:"experiments"`
@@ -68,6 +70,7 @@ func run(args []string, stdout *os.File) int {
 		trials   = fs.Int("trials", 0, "trials per sweep point (0 = default)")
 		seed     = fs.Uint64("seed", 0, "seed offset for all experiments")
 		quick    = fs.Bool("quick", false, "smallest grids (smoke test)")
+		full     = fs.Bool("full", false, "large grids: N up to 16384, F up to 128, dense t sweeps")
 		parallel = fs.Int("parallel", 0, "trial-runner worker goroutines (0 = one per CPU)")
 		format   = fs.String("format", "text", "output format: text, markdown, csv, json")
 		jsonOut  = fs.Bool("json", false, "shorthand for -format json")
@@ -79,6 +82,10 @@ func run(args []string, stdout *os.File) int {
 	}
 	if *jsonOut {
 		*format = "json"
+	}
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "wexp: -quick and -full are mutually exclusive")
+		return 2
 	}
 	switch *format {
 	case "text", "markdown", "csv", "json":
@@ -94,7 +101,7 @@ func run(args []string, stdout *os.File) int {
 		return 0
 	}
 
-	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, Parallelism: *parallel}
+	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, Full: *full, Parallelism: *parallel}
 
 	var selected []harness.Experiment
 	if *runIDs == "" {
@@ -123,6 +130,7 @@ func run(args []string, stdout *os.File) int {
 		EffectiveTrials:      opt.EffectiveTrials(),
 		Seed:                 *seed,
 		Quick:                *quick,
+		Full:                 *full,
 		Parallelism:          *parallel,
 		EffectiveParallelism: opt.EffectiveParallelism(),
 		Experiments:          []reportEntry{},

@@ -164,6 +164,39 @@ func TestParallelFlagDeterminism(t *testing.T) {
 	}
 }
 
+// TestFullFlagConflictsWithQuick pins the tier flags' mutual exclusion.
+func TestFullFlagConflictsWithQuick(t *testing.T) {
+	code, _ := capture(t, []string{"-quick", "-full", "-run", "F1"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestFullFlagReport checks that the -full tier is recorded in the
+// wsync-bench/v1 report (on a grid-less experiment, so the test stays
+// fast; the full sweep grids themselves run in CI's bench job).
+func TestFullFlagReport(t *testing.T) {
+	code, out := capture(t, []string{"-full", "-trials", "2", "-json", "-run", "F1"})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if !rep.Full || rep.Quick {
+		t.Errorf("tier not echoed: %+v", rep)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Table == nil || rep.Experiments[0].Table.ID != "F1" {
+		t.Errorf("experiment entry malformed: %+v", rep.Experiments)
+	}
+	// ElapsedMS legitimately rounds to 0 for a grid-less experiment, so
+	// assert the field's presence in the raw document instead.
+	if !strings.Contains(out, `"elapsed_ms"`) {
+		t.Errorf("wall time missing from report:\n%s", out)
+	}
+}
+
 func TestBadFormat(t *testing.T) {
 	code, _ := capture(t, []string{"-format", "yaml"})
 	if code != 2 {

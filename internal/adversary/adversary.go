@@ -1,28 +1,3 @@
-// Package adversary implements interference adversaries for the disrupted
-// radio network model.
-//
-// The model grants the adversary up to t disrupted frequencies per round,
-// chosen with knowledge of the protocol and of the execution through the
-// previous round (Section 2). This package provides the adversaries used by
-// the paper's arguments and by the experiments:
-//
-//   - None: no disruption (a baseline sanity adversary).
-//   - Fixed: a static set, e.g. frequencies 1..t — the "weak adversary" of
-//     the Theorem 1 lower bound.
-//   - Random: a fresh uniform t-subset each round; oblivious, as required
-//     by the Good Samaritan analysis.
-//   - Sweep: a sliding window of t consecutive frequencies, a classic
-//     scanning jammer.
-//   - Bursty: alternates jamming and silence, modeling intermittent
-//     interference (microwave ovens, co-located protocols).
-//   - Reactive: adaptively jams the frequencies that carried the most
-//     transmissions in the previous round — legal in the model because it
-//     only uses completed history.
-//   - LowPrefix: jams the t' lowest frequencies; the natural worst case
-//     for the Good Samaritan protocol's low-frequency optimism.
-//
-// All adversaries are deterministic given their construction parameters
-// (Random and Bursty take explicit seeds), keeping simulations reproducible.
 package adversary
 
 import (

@@ -1,21 +1,3 @@
-// Package baseline implements comparison protocols for the experiment
-// harness. None of them is from the paper; each isolates one design
-// decision of the paper's protocols by removing it:
-//
-//   - Wakeup: a wake-up–style protocol with the Trapdoor probability ramp
-//     but no knockout competition: every node announces its own numbering,
-//     adopts the first larger-timestamped numbering it hears, and simply
-//     assumes leadership after its ramp if it heard nobody. It is fast but
-//     offers no single-leader guarantee, so agreement can fail —
-//     demonstrating why the Trapdoor's competition exists.
-//   - SingleFreq: the same protocol confined to frequency 1. Without
-//     disruption it synchronizes; with any jammer covering frequency 1 it
-//     livelocks — demonstrating why multiple frequencies are necessary
-//     (the Theorem 4 intuition).
-//   - RoundRobin: a deterministic hopping protocol (frequency and
-//     transmit/listen role derived from local age and identifier). A
-//     sweeping jammer can track it and identical-parity populations can
-//     deadlock — demonstrating why randomization matters.
 package baseline
 
 import (

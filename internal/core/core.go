@@ -1,11 +1,3 @@
-// Package core provides the building blocks shared by the paper's
-// synchronization protocols: node roles, unique identifiers, and the
-// round-number output state machine that realizes the problem's Validity,
-// Synch Commit, and Correctness properties.
-//
-// The two protocol packages (internal/trapdoor and internal/samaritan)
-// compose these pieces; they differ in how a node earns the right to decide
-// the numbering (the competition), not in how numbering is represented.
 package core
 
 import (

@@ -1,10 +1,3 @@
-// Package freqdist provides the frequency-selection distributions used by
-// the synchronization protocols.
-//
-// Each distribution exposes both a sampler (used by protocol agents) and the
-// exact point probability Prob(f) (used by the Theorem-4 greedy adversary
-// and by tests that validate samplers against their closed forms). All
-// distributions range over the 1-based frequencies [1..Max()].
 package freqdist
 
 import (

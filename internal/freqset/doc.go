@@ -1,0 +1,7 @@
+// Package freqset provides a compact set of frequency indices.
+//
+// Frequencies throughout this repository are 1-based, matching the paper's
+// notation f ∈ [1..F]. A Set stores membership for frequencies 1..F in a
+// bitset; the simulator uses it for per-round disruption sets and the
+// protocols use it to reason about available frequencies.
+package freqset

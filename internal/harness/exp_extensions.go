@@ -91,7 +91,7 @@ func runX6(o Options) (*Table, error) {
 		commands[i] = 100 * uint64(i+1)
 	}
 	ts := []int{0, 2, 3}
-	if o.Quick {
+	if o.quick() {
 		ts = []int{2}
 	}
 	for _, tJam := range ts {
@@ -183,7 +183,7 @@ func runX7(o Options) (*Table, error) {
 		{"line-16", multihop.Line(16)},
 		{"grid-4x4", multihop.Grid(4, 4)},
 	}
-	if o.Quick {
+	if o.quick() {
 		cases = cases[:2]
 	}
 	for ci, c := range cases {
@@ -273,7 +273,7 @@ func runX8(o Options) (*Table, error) {
 	}
 	const nBound, f, tJam, active = 64, 8, 3, 8
 	names := adversary.Names()
-	if o.Quick {
+	if o.quick() {
 		names = []string{"none", "fixed", "reactive"}
 	}
 	tp := trapdoor.Params{N: nBound, F: f, T: tJam}

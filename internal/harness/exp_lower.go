@@ -18,7 +18,7 @@ func runL2(o Options) (*Table, error) {
 		Columns: []string{"s", "balls m", "profile", "P[no singleton]", "bound 2^-s", "holds"},
 	}
 	trials := 6000
-	if o.Quick {
+	if o.quick() {
 		trials = 1500
 	}
 	cases := []struct {
@@ -64,8 +64,14 @@ func runT1(o Options) (*Table, error) {
 		Columns: []string{"N", "F", "t", "worst n", "median rounds", "best n", "its median", "theory lg²N/((F−t)lglgN)", "ratio"},
 	}
 	ns := []int{64, 256, 1024, 4096}
-	if o.Quick {
+	if o.quick() {
 		ns = []int{16, 64}
+	}
+	if o.Full {
+		// Full tier: one more quadrupling of the participant bound; the
+		// lower-bound game sweeps n up to N, so the top point runs 16384
+		// concurrent regular-protocol nodes.
+		ns = []int{64, 256, 1024, 4096, 16384}
 	}
 	const f, tJam = 8, 2
 	var theories, worsts []float64
@@ -123,7 +129,7 @@ func runT4(o Options) (*Table, error) {
 	}
 	const f = 8
 	ts := []int{1, 2, 3, 4, 5, 6}
-	if o.Quick {
+	if o.quick() {
 		ts = []int{1, 3}
 	}
 	trials := o.trials() * 10 // individual games are cheap

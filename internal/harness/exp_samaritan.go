@@ -45,8 +45,13 @@ func runT18a(o Options) (*Table, error) {
 	}
 	const nBound, f, tBudget, active = 16, 16, 8, 4
 	tPrimes := []int{1, 2, 4}
-	if o.Quick {
+	if o.quick() {
 		tPrimes = []int{1, 2}
+	}
+	if o.Full {
+		// Full tier: a dense t' grid (still strictly below the budget t,
+		// so every point stays in the adaptive good case).
+		tPrimes = []int{1, 2, 3, 4, 5, 6}
 	}
 	p := samaritan.Params{N: nBound, F: f, T: tBudget}
 	var theories, medians []float64
@@ -90,8 +95,13 @@ func runT18b(o Options) (*Table, error) {
 	}
 	const nBound, active = 16, 4
 	fs := []int{4, 8}
-	if o.Quick {
+	if o.quick() {
 		fs = []int{4}
+	}
+	if o.Full {
+		// Full tier: one more doubling of the band; fallback runtime is
+		// Θ(F·log³N), so F = 16 doubles the per-trial cost again.
+		fs = []int{4, 8, 16}
 	}
 	var theories, medians []float64
 	for _, f := range fs {
@@ -137,8 +147,13 @@ func runX1(o Options) (*Table, error) {
 	}
 	const nBound, f, tBudget, active = 16, 64, 32, 2
 	tPrimes := []int{1, 2, 4, 8, 16}
-	if o.Quick {
+	if o.quick() {
 		tPrimes = []int{1, 8}
+	}
+	if o.Full {
+		// Full tier: follow the crossover all the way to t' = t, where the
+		// Good Samaritan has fully lost its adaptive advantage.
+		tPrimes = []int{1, 2, 4, 8, 16, 24, 32}
 	}
 	tp := trapdoor.Params{N: nBound, F: f, T: tBudget}
 	sp := samaritan.Params{N: nBound, F: f, T: tBudget}

@@ -44,8 +44,14 @@ func runT10a(o Options) (*Table, error) {
 		Columns: []string{"N", "n", "F", "t", "median rounds", "p95", "theory", "ratio"},
 	}
 	ns := []int{16, 64, 256, 1024}
-	if o.Quick {
+	if o.quick() {
 		ns = []int{16, 64}
+	}
+	if o.Full {
+		// The full tier climbs to the participant bounds the log²N shape
+		// needs room to show; tractable because the indexed medium path
+		// makes per-round cost independent of N.
+		ns = []int{16, 64, 256, 1024, 4096, 16384}
 	}
 	const f, tJam, active = 8, 2, 8
 	var theories, medians []float64
@@ -85,15 +91,31 @@ func runT10b(o Options) (*Table, error) {
 		Columns: []string{"N", "F", "t", "F'", "median rounds", "theory", "ratio"},
 	}
 	ts := []int{1, 2, 3, 4, 5, 6, 7}
-	if o.Quick {
+	f := 8
+	if o.quick() {
 		ts = []int{1, 4}
 	}
-	const f, nBound, active = 8, 64, 8
+	if o.Full {
+		// Full tier: the wide band. A dense t grid climbing to near
+		// saturation (t = 120 of F = 128) is where the F/(F−t) blow-up
+		// stops being a constant; the indexed medium path keeps a round's
+		// cost independent of the 128 frequencies.
+		f = 128
+		ts = []int{8, 16, 32, 48, 64, 80, 96, 112, 120}
+	}
+	const nBound, active = 64, 8
 	var theories, medians []float64
 	for _, tJam := range ts {
+		// The default/quick tiers keep their historical seed key (bare
+		// tJam) so T10b stays comparable across BENCH_*.json artifacts;
+		// the full tier is new and mixes f in to get fresh streams.
+		key := uint64(tJam)
+		if o.Full {
+			key = uint64(f)<<16 | uint64(tJam)
+		}
 		p := trapdoor.Params{N: nBound, F: f, T: tJam}
 		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
-			rr, err := trapdoorRun(p, active, adversary.NewPrefix(f, tJam), o.TrialSeed(pointKey(ptT10b, uint64(tJam)), i), 1<<22)
+			rr, err := trapdoorRun(p, active, adversary.NewPrefix(f, tJam), o.TrialSeed(pointKey(ptT10b, key), i), 1<<22)
 			if err != nil {
 				return 0, err
 			}
@@ -105,7 +127,7 @@ func runT10b(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		theory := lowerbound.Theorem10Rounds(nBound, f, float64(tJam))
+		theory := lowerbound.Theorem10Rounds(nBound, float64(f), float64(tJam))
 		theories = append(theories, theory)
 		medians = append(medians, s.Median)
 		tbl.AddRow(nBound, f, tJam, p.FPrime(), s.Median, theory, s.Median/theory)
@@ -134,7 +156,7 @@ func runT10c(o Options) (*Table, error) {
 		{64, 16, 8, 3},
 		{256, 8, 8, 2},
 	}
-	if o.Quick {
+	if o.quick() {
 		configs = configs[:1]
 	}
 	runs := o.trials() * 5
@@ -201,7 +223,7 @@ func runL9(o Options) (*Table, error) {
 		{64, 64, 4, 1, false},
 		{64, 64, 4, 1, true},
 	}
-	if o.Quick {
+	if o.quick() {
 		configs = configs[:2]
 	}
 	trials := 3

@@ -16,6 +16,12 @@ type Options struct {
 	// Quick shrinks sweeps to their smallest meaningful grids (used by CI
 	// and -short benchmarks).
 	Quick bool
+	// Full expands sweeps to the large grids the frequency-indexed medium
+	// path makes tractable: N up to 16384, F up to 128, and dense t
+	// grids (the wexp -full tier). Experiments without a full grid run
+	// their default one. Full and Quick are mutually exclusive; if both
+	// are set, Full wins.
+	Full bool
 	// Parallelism is the number of worker goroutines the runner fans each
 	// sweep point's trials out across; 0 means one per CPU. Results are
 	// bit-identical at every parallelism level (see runner.go).
@@ -29,11 +35,14 @@ func (o Options) trials() int {
 	if o.Trials > 0 {
 		return o.Trials
 	}
-	if o.Quick {
+	if o.Quick && !o.Full {
 		return 5
 	}
 	return DefaultTrials
 }
+
+// quick reports whether the shrunk grids should be used; Full overrides.
+func (o Options) quick() bool { return o.Quick && !o.Full }
 
 // EffectiveTrials returns the per-sweep-point repetition count the
 // experiments will actually use after defaulting (some experiments scale

@@ -1,8 +1,3 @@
-// Package harness defines and runs the repository's experiments: one per
-// paper artifact (every figure and theorem of the evaluation; see
-// DESIGN.md §4 for the index). Each experiment produces a Table whose rows
-// compare measured behavior against the paper's bound, and the cmd/wexp
-// tool renders them into EXPERIMENTS.md.
 package harness
 
 import (

@@ -1,14 +1,3 @@
-// Package lowerbound implements the paper's lower-bound constructions as
-// runnable experiments, plus closed-form evaluators for every bound in the
-// paper. Three experiments live here:
-//
-//   - the Lemma 2 balls-in-bins process (no bin receives exactly one ball
-//     with probability at least 2^{−s});
-//   - the Theorem 1 setting: n nodes running a regular protocol against
-//     the weak adversary that disrupts frequencies 1..t forever, measured
-//     until the first clear broadcast;
-//   - the Theorem 4 two-node rendezvous game against the greedy adversary
-//     that disrupts the t frequencies with the largest p_j·q_j products.
 package lowerbound
 
 import "math"

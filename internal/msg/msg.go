@@ -1,17 +1,3 @@
-// Package msg defines the messages exchanged by the synchronization
-// protocols and their compact binary wire format.
-//
-// The paper's protocols exchange three message classes: contender messages
-// carrying a timestamp (used for the Trapdoor knockout rule), samaritan
-// messages carrying success reports (used by the Good Samaritan protocol),
-// and leader messages carrying the round numbering scheme. A fourth kind,
-// Data, is used by the example applications that build on synchronized
-// rounds.
-//
-// Messages are value types; the simulator copies them by value between
-// sender and receiver, so protocols never share mutable state through the
-// ether. Reports and Payload slices are defensively copied by Clone when a
-// receiver needs to retain them.
 package msg
 
 import (

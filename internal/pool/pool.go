@@ -1,18 +1,3 @@
-// Package pool is the repository's work-stealing index scheduler: it
-// executes fn(worker, i) for every index i in [0, n) across a fixed set
-// of worker goroutines. The experiment harness fans Monte-Carlo trials
-// through it, and the lower-bound sweeps fan (width, trial) grids.
-//
-// Workers own contiguous index spans; a worker that drains its span
-// steals the upper half of another worker's remaining span. Indices of
-// the same batch can vary enormously in cost (a simulation runs until
-// synchronization), so static chunking alone leaves workers idle behind
-// one slow index; stealing keeps them busy without the channel-per-index
-// overhead of a shared queue.
-//
-// The scheduler only decides WHERE an index executes — callers that need
-// deterministic results must make outputs a pure function of the index
-// (the harness derives per-trial RNG seeds from trial identity alone).
 package pool
 
 import (

@@ -1,0 +1,19 @@
+// Package props verifies, over a running execution, the five correctness
+// properties of the wireless synchronization problem (Section 3 of the
+// paper):
+//
+//  1. Validity — every activated node outputs a value in N⊥ each round.
+//     This holds structurally in the simulator (outputs are (uint64, ⊥)),
+//     so the checker records it implicitly.
+//  2. Synch Commit — once a node outputs a non-⊥ value it never outputs ⊥
+//     again.
+//  3. Correctness — a node outputting i in round r outputs i+1 in round
+//     r+1.
+//  4. Agreement — all non-⊥ outputs in a round are equal.
+//  5. Liveness — eventually every active node stops outputting ⊥; the
+//     checker reports it from the run's final state.
+//
+// The Checker is a sim.Observer: attach it to a Config and inspect it after
+// the run. It verifies streams without retaining the execution, so it is
+// cheap enough to attach to every experiment.
+package props

@@ -1,0 +1,20 @@
+// Package replog maintains a replicated log over the disrupted radio
+// network, demonstrating the paper's Section 8 claim that "a leader
+// combined with a common round view simplifies consensus [and] maintaining
+// replicated state".
+//
+// Every node embeds a synchronization protocol (the Trapdoor Protocol by
+// default). Once rounds are synchronized and a unique leader exists, the
+// leader replicates a fixed command sequence: each round it broadcasts,
+// with probability 1/2, one log entry (cycling across indexes not yet
+// quorum-acknowledged) tagged with the current commit index. Followers
+// append entries in order and, with small probability, broadcast
+// cumulative acknowledgements. The leader commits an index once Quorum
+// distinct followers acknowledged it (default: all of them); commit
+// indexes ride on subsequent entries. Jamming and collisions only delay replication — retransmission
+// is the protocol's only tool, exactly like the synchronization layer
+// below it.
+//
+// Safety invariant (tested): committed prefixes are identical across all
+// nodes at all times, and commit indexes are monotone.
+package replog

@@ -1,15 +1,3 @@
-// Package rng provides a small, fast, deterministic pseudo-random number
-// generator with support for splitting independent streams.
-//
-// Simulations in this repository must be exactly reproducible from a single
-// master seed, including when node agents run concurrently. To achieve this,
-// every node and every adversary receives its own Rand, derived from the
-// master seed with Split. Streams derived with distinct split keys are
-// statistically independent for simulation purposes.
-//
-// The generator is xoshiro256** (Blackman & Vigna), seeded through
-// splitmix64, the construction recommended by its authors. It is not
-// cryptographically secure; it is a simulation PRNG.
 package rng
 
 import "math/bits"

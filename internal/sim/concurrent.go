@@ -99,22 +99,14 @@ func RunConcurrent(cfg *Config) (*Result, error) {
 	limit := e.maxRounds()
 	for r := uint64(1); r <= limit; r++ {
 		// Activation bookkeeping happens here so the adversary's history
-		// view is current; agent construction happens in workers.
-		for i := 0; i < e.n; i++ {
-			if e.hist.Activated[i] == 0 && e.activation[i] == r {
-				e.hist.Activated[i] = r
-				e.activatedCount++
-			}
-		}
+		// view and the resolver's active list are current; agent
+		// construction and the active flags happen in workers.
+		e.noteActivations(r)
 		disrupted := e.disruptedSet(r)
 		barrier(workerCmd{phase: phaseStep, round: r})
 		e.resolve(r, disrupted)
 		barrier(workerCmd{phase: phaseDeliver, round: r})
-		for i := 0; i < e.n; i++ {
-			if !e.active[i] {
-				e.rec.Outputs[i] = Output{}
-				continue
-			}
+		for _, i := range e.activeList {
 			out := outScratch[i]
 			e.rec.Outputs[i] = out
 			if out.Synced && e.res.SyncRound[i] == 0 {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"wsync/internal/freqset"
 	"wsync/internal/msg"
@@ -23,13 +24,27 @@ type engine struct {
 	actions []Action // per node, valid for active nodes each round
 	active  []bool   // per node
 
-	// pending delivery per node for the current round
-	pending    []msg.Message
-	hasPending []bool
+	// activeList holds the indices of awake nodes in ascending order; it
+	// only ever grows (nodes never deactivate). buckets maps an activation
+	// round to the nodes it wakes, so per-round activation and the indexed
+	// medium path cost O(awake), not O(N).
+	activeList []int
+	buckets    map[uint64][]int
 
-	// per-frequency scratch (index 1..F)
+	// pending delivery per node for the current round; pendingList names
+	// the nodes with hasPending set, in ascending order.
+	pending     []msg.Message
+	hasPending  []bool
+	pendingList []int
+
+	// per-frequency scratch (index 1..F). The indexed path additionally
+	// tracks which frequencies were touched this round, so it can classify
+	// and re-zero only those; the scan path sweeps all of [1..F].
 	txCount []int
 	txFrom  []NodeID
+	touched []int
+	// listeners collects this round's listening nodes in ascending order.
+	listeners []int
 
 	emptySet *freqset.Set
 
@@ -68,6 +83,7 @@ func newEngine(cfg *Config) (*engine, error) {
 		}
 		e.agentRNG[i] = master.Split(uint64(i))
 	}
+	e.buckets = activationBuckets(e.activation)
 	e.hist = History{
 		F:         cfg.F,
 		Activated: make([]uint64, n),
@@ -98,23 +114,66 @@ func (e *engine) maxRounds() uint64 {
 	return DefaultMaxRounds
 }
 
-// activate brings up any nodes scheduled for round r and returns their
-// local rounds. It is used by the sequential engine; the concurrent engine
-// activates nodes inside workers.
+// activateRound brings up any nodes scheduled for round r. It is used by
+// the sequential engine; the concurrent engine constructs agents inside
+// workers and calls noteActivations instead.
 func (e *engine) activateRound(r uint64) {
-	for i := 0; i < e.n; i++ {
-		if !e.active[i] && e.activation[i] == r {
-			e.active[i] = true
-			e.agents[i] = e.cfg.NewAgent(NodeID(i), r, e.agentRNG[i])
-			e.hist.Activated[i] = r
-			e.activatedCount++
+	bucket := e.buckets[r]
+	for _, i := range bucket {
+		e.active[i] = true
+		e.agents[i] = e.cfg.NewAgent(NodeID(i), r, e.agentRNG[i])
+		e.hist.Activated[i] = r
+		e.activatedCount++
+	}
+	e.mergeActive(bucket)
+}
+
+// noteActivations performs the activation bookkeeping for round r without
+// constructing agents or flipping the active flags (RunConcurrent's workers
+// do both, in parallel, per owned node).
+func (e *engine) noteActivations(r uint64) {
+	bucket := e.buckets[r]
+	for _, i := range bucket {
+		e.hist.Activated[i] = r
+		e.activatedCount++
+	}
+	e.mergeActive(bucket)
+}
+
+// mergeActive merges a sorted activation bucket into the sorted active
+// list. Schedules usually activate in index order, so the append fast path
+// covers almost every round; the general merge handles Explicit schedules
+// that wake a low index after a high one.
+func (e *engine) mergeActive(bucket []int) {
+	if len(bucket) == 0 {
+		return
+	}
+	old := e.activeList
+	if len(old) == 0 || old[len(old)-1] < bucket[0] {
+		e.activeList = append(old, bucket...)
+		return
+	}
+	merged := make([]int, 0, len(old)+len(bucket))
+	i, j := 0, 0
+	for i < len(old) && j < len(bucket) {
+		if old[i] < bucket[j] {
+			merged = append(merged, old[i])
+			i++
+		} else {
+			merged = append(merged, bucket[j])
+			j++
 		}
 	}
+	merged = append(merged, old[i:]...)
+	merged = append(merged, bucket[j:]...)
+	e.activeList = merged
 }
 
 // resolve applies the medium semantics for round r given e.actions for all
 // active nodes, filling e.rec and the pending delivery buffers. disrupted
-// is the adversary's validated set.
+// is the adversary's validated set. The two implementations are
+// bit-identical in every observable (records, stats, delivery order); see
+// MediumPath.
 func (e *engine) resolve(r uint64, disrupted *freqset.Set) {
 	rec := &e.rec
 	rec.Round = r
@@ -123,19 +182,48 @@ func (e *engine) resolve(r uint64, disrupted *freqset.Set) {
 	rec.Deliveries = rec.Deliveries[:0]
 	rec.Clear = rec.Clear[:0]
 
+	// Only nodes on pendingList can have hasPending set, so clearing them
+	// is equivalent to the legacy full sweep over all N.
+	for _, i := range e.pendingList {
+		e.hasPending[i] = false
+	}
+	e.pendingList = e.pendingList[:0]
+	e.res.Stats.NodeRounds += uint64(len(e.activeList))
+
+	if e.cfg.Medium == MediumScan {
+		e.resolveScan(r, disrupted)
+	} else {
+		e.resolveIndexed(r, disrupted)
+	}
+
+	if e.res.FirstClear != 0 && !e.hist.EverClear {
+		e.hist.EverClear = true
+		e.hist.FirstClear = e.res.FirstClear
+	}
+}
+
+// badFreq flags a protocol choosing an out-of-range frequency: a bug in
+// the protocol, surfaced loudly.
+func (e *engine) badFreq(i int, freq int) {
+	panic(fmt.Sprintf("sim: node %d chose frequency %d outside [1..%d]", i, freq, e.cfg.F))
+}
+
+// resolveScan is the legacy medium resolver: every round it zeroes and
+// classifies all F frequency slots and walks all N schedule slots twice.
+// It is kept verbatim as the differential-testing oracle for the indexed
+// path.
+func (e *engine) resolveScan(r uint64, disrupted *freqset.Set) {
+	rec := &e.rec
 	for f := 1; f <= e.cfg.F; f++ {
 		e.txCount[f] = 0
 	}
 	for i := 0; i < e.n; i++ {
-		e.hasPending[i] = false
 		if !e.active[i] {
 			continue
 		}
 		a := e.actions[i]
 		if a.Freq < 1 || a.Freq > e.cfg.F {
-			// A protocol choosing an out-of-range frequency is a bug in
-			// the protocol; surface it loudly.
-			panic(fmt.Sprintf("sim: node %d chose frequency %d outside [1..%d]", i, a.Freq, e.cfg.F))
+			e.badFreq(i, a.Freq)
 		}
 		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: a.Freq, Transmit: a.Transmit})
 		if a.Transmit {
@@ -161,10 +249,6 @@ func (e *engine) resolve(r uint64, disrupted *freqset.Set) {
 			}
 		}
 	}
-	if e.res.FirstClear != 0 && !e.hist.EverClear {
-		e.hist.EverClear = true
-		e.hist.FirstClear = e.res.FirstClear
-	}
 
 	// Queue deliveries to listeners on clear single-transmitter channels.
 	for i := 0; i < e.n; i++ {
@@ -177,14 +261,82 @@ func (e *engine) resolve(r uint64, disrupted *freqset.Set) {
 		}
 		f := a.Freq
 		if e.txCount[f] == 1 && !disrupted.Contains(f) {
-			from := e.txFrom[f]
-			e.pending[i] = e.deliverable(from)
-			e.hasPending[i] = true
-			e.hist.Received[i] = true
-			rec.Deliveries = append(rec.Deliveries, Delivery{From: from, To: NodeID(i), Freq: f})
-			e.res.Stats.Deliveries++
+			e.queueDelivery(i, f)
 		}
 	}
+}
+
+// resolveIndexed is the frequency-indexed fast path: one pass over the
+// awake nodes builds per-frequency transmitter buckets and the listener
+// list, then only the frequencies actually touched this round are
+// classified and re-zeroed. Per-round cost is O(active · log active)
+// (the log is the touched-frequency sort that preserves the scan path's
+// ascending Clear order) — independent of F and N.
+func (e *engine) resolveIndexed(r uint64, disrupted *freqset.Set) {
+	rec := &e.rec
+	e.listeners = e.listeners[:0]
+	for _, i := range e.activeList {
+		a := e.actions[i]
+		if a.Freq < 1 || a.Freq > e.cfg.F {
+			e.badFreq(i, a.Freq)
+		}
+		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: a.Freq, Transmit: a.Transmit})
+		if a.Transmit {
+			if e.txCount[a.Freq] == 0 {
+				e.touched = append(e.touched, a.Freq)
+			}
+			e.txCount[a.Freq]++
+			e.txFrom[a.Freq] = NodeID(i)
+			e.res.Stats.Transmissions++
+		} else {
+			e.listeners = append(e.listeners, i)
+		}
+	}
+
+	// Classify the touched frequencies in ascending order, matching the
+	// scan path's [1..F] sweep bit for bit.
+	sort.Ints(e.touched)
+	for _, f := range e.touched {
+		switch {
+		case e.txCount[f] >= 2:
+			e.res.Stats.Collisions++
+		case disrupted.Contains(f):
+			e.res.Stats.DisruptedLosses++
+		default:
+			rec.Clear = append(rec.Clear, f)
+			e.res.Stats.ClearBroadcasts++
+			if e.res.FirstClear == 0 {
+				e.res.FirstClear = r
+			}
+		}
+	}
+
+	// Queue deliveries to listeners on clear single-transmitter channels;
+	// listeners were collected in ascending node order.
+	for _, i := range e.listeners {
+		f := e.actions[i].Freq
+		if e.txCount[f] == 1 && !disrupted.Contains(f) {
+			e.queueDelivery(i, f)
+		}
+	}
+
+	// Re-zero only what this round dirtied.
+	for _, f := range e.touched {
+		e.txCount[f] = 0
+	}
+	e.touched = e.touched[:0]
+}
+
+// queueDelivery records the successful reception of frequency f's lone
+// transmission by listener i.
+func (e *engine) queueDelivery(i int, f int) {
+	from := e.txFrom[f]
+	e.pending[i] = e.deliverable(from)
+	e.hasPending[i] = true
+	e.pendingList = append(e.pendingList, i)
+	e.hist.Received[i] = true
+	e.rec.Deliveries = append(e.rec.Deliveries, Delivery{From: from, To: NodeID(i), Freq: f})
+	e.res.Stats.Deliveries++
 }
 
 // deliverable returns the message node `from` transmitted this round,
@@ -206,12 +358,10 @@ func (e *engine) deliverable(from NodeID) msg.Message {
 }
 
 // recordOutputs stores post-round outputs and updates sync bookkeeping.
+// Inactive nodes' entries stay the zero Output they were allocated with
+// (nodes never deactivate), so only awake nodes need visiting.
 func (e *engine) recordOutputs(r uint64) {
-	for i := 0; i < e.n; i++ {
-		if !e.active[i] {
-			e.rec.Outputs[i] = Output{}
-			continue
-		}
+	for _, i := range e.activeList {
 		out := e.agents[i].Output()
 		e.rec.Outputs[i] = out
 		if out.Synced && e.res.SyncRound[i] == 0 {
@@ -299,17 +449,13 @@ func Run(cfg *Config) (*Result, error) {
 	for r := uint64(1); r <= limit; r++ {
 		e.activateRound(r)
 		disrupted := e.disruptedSet(r)
-		for i := 0; i < e.n; i++ {
-			if e.active[i] {
-				e.probeWeight(i)
-				e.actions[i] = e.agents[i].Step(r - e.activation[i] + 1)
-			}
+		for _, i := range e.activeList {
+			e.probeWeight(i)
+			e.actions[i] = e.agents[i].Step(r - e.activation[i] + 1)
 		}
 		e.resolve(r, disrupted)
-		for i := 0; i < e.n; i++ {
-			if e.hasPending[i] {
-				e.agents[i].Deliver(e.pending[i])
-			}
+		for _, i := range e.pendingList {
+			e.agents[i].Deliver(e.pending[i])
 		}
 		e.recordOutputs(r)
 		if e.observeAndCheckStop(r) {

@@ -1,22 +1,3 @@
-// Package sim implements the disrupted radio network model of Section 2 of
-// the paper as a discrete-event, round-synchronous simulator.
-//
-// The model: time divides into rounds. In each round every active node
-// selects one of F frequencies and either transmits or listens. An
-// interference adversary disrupts up to t < F frequencies per round,
-// choosing based only on the protocol and the execution through the
-// previous round. A listener on frequency f receives a message iff exactly
-// one node transmitted on f and f is not disrupted; there is no collision
-// detection, and transmitters learn nothing about the outcome of their
-// transmission. Nodes are activated at schedule-determined rounds and run
-// local round counters starting at activation.
-//
-// The package provides two engines over the same Config: Run executes nodes
-// sequentially in one goroutine; RunConcurrent gives every node agent its
-// own goroutine synchronized by round barriers. Both are deterministic
-// given the same Config and produce identical Results, which a test
-// verifies; the concurrent engine exists because node agents map naturally
-// onto goroutines and it parallelizes expensive per-node work.
 package sim
 
 import (
@@ -167,6 +148,7 @@ type Observer interface {
 // Stats aggregates medium-level counters over a run.
 type Stats struct {
 	Rounds          uint64 // rounds executed
+	NodeRounds      uint64 // active node-rounds executed (Σ over rounds of awake nodes)
 	Transmissions   uint64 // node-round transmissions
 	Collisions      uint64 // (round, freq) pairs with >= 2 transmitters
 	DisruptedLosses uint64 // single-transmitter (round, freq) pairs lost to disruption
@@ -205,6 +187,27 @@ func (r *Result) SyncLocal(i int) uint64 {
 	}
 	return r.SyncRound[i] - r.Activated[i] + 1
 }
+
+// MediumPath selects the implementation the engine uses to resolve the
+// shared medium each round. Both paths implement the identical Section 2
+// semantics and produce bit-identical Results, RoundRecords, and Stats for
+// any Config (TestMediumDifferential asserts this over randomized
+// schedules); they differ only in cost.
+type MediumPath int
+
+const (
+	// MediumIndexed is the default frequency-indexed fast path: each round
+	// it buckets broadcasters and listeners by frequency using only the
+	// nodes that are actually awake, so per-round resolution work is
+	// O(active) instead of O(F + N). This is what makes the -full sweep
+	// grids (N up to 16384, F up to 128) tractable.
+	MediumIndexed MediumPath = iota
+	// MediumScan is the legacy resolver: a full scan over all F
+	// frequencies and all N schedule slots every round. It is retained as
+	// the differential-testing oracle for MediumIndexed and as the
+	// baseline of the BenchmarkEngineThroughput regression metric.
+	MediumScan
+)
 
 // Config describes one simulation.
 type Config struct {
@@ -246,6 +249,10 @@ type Config struct {
 	// Workers sets the number of worker goroutines used by RunConcurrent;
 	// 0 means one goroutine per node.
 	Workers int
+	// Medium selects the medium-resolution path; the zero value is the
+	// frequency-indexed fast path. MediumScan forces the legacy O(F + N)
+	// scan, which exists as a differential-testing oracle.
+	Medium MediumPath
 }
 
 // DefaultMaxRounds bounds runs whose Config leaves MaxRounds zero.

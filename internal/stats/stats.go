@@ -1,6 +1,3 @@
-// Package stats provides the summary statistics and curve-fitting helpers
-// the experiment harness uses to compare measured synchronization times
-// against the paper's asymptotic bounds.
 package stats
 
 import (

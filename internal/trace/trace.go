@@ -1,14 +1,3 @@
-// Package trace records simulation activity and renders it as a compact
-// ASCII timeline — the debugging view for protocol executions. Attach a
-// Recorder as a sim.Observer and render the retained window afterwards:
-//
-//	round  jammed  n0    n1    n2
-//	  41   {1,2}   T3    r3    .5
-//
-// T3 = transmitted on frequency 3, r3 = received on frequency 3,
-// .5 = listened on frequency 5 and heard nothing, x3 = transmitted into a
-// collision, ~ = inactive. A trailing * marks the round in which the node
-// first output a round number.
 package trace
 
 import (

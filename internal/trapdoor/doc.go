@@ -1,0 +1,25 @@
+// Package trapdoor implements the Trapdoor Protocol of Section 6 of the
+// paper, the near-optimal randomized solution to the wireless
+// synchronization problem.
+//
+// The protocol runs a competition among contenders. Every node proceeds
+// through lg N epochs with geometrically increasing broadcast probability
+// (Figure 1): in each round of epoch e it picks a frequency uniformly from
+// [1..F'], F' = min(F, 2t), and transmits its timestamp (ra, uid) with
+// probability 2^e/(2N), listening otherwise. A contender that hears a
+// larger timestamp is knocked out — it falls through the trapdoor and
+// merely listens from then on. A contender that survives all lg N epochs
+// becomes the leader, chooses the round numbering (its own local age), and
+// announces it each round with probability 1/2 on a random frequency in
+// [1..F']. Any node hearing a leader adopts the numbering and commits.
+//
+// With high probability exactly one node — the one with the maximum
+// timestamp, i.e. the earliest activated — becomes leader, and every node
+// synchronizes within O(F/(F−t)·log²N + Ft/(F−t)·logN) rounds (Theorem 10).
+//
+// The package also implements the crash-fault-tolerant variant sketched in
+// Section 8: nodes delay committing until they have heard several leader
+// messages, and any node that goes too long without hearing its leader
+// restarts the competition, re-electing a leader that continues the old
+// numbering if it had adopted it.
+package trapdoor

@@ -1,0 +1,20 @@
+// Package unslotted implements the slotted→unslotted transformation
+// sketched in Section 8 of the paper ("Unsynchronized rounds").
+//
+// The paper's model assumes all nodes agree on round boundaries. In
+// reality, devices' clocks are phase-shifted. The classical fix (going
+// back to the ALOHA slotting argument, [1] in the paper) costs a constant
+// factor: subdivide time into half-slots, let every protocol round occupy
+// two consecutive half-slots of the node's local clock, and transmit each
+// message in both half-slots. Any receiver's round then fully contains at
+// least one half-slot of any concurrent transmission, so a message that
+// would have been received in the slotted model is received here too —
+// at twice the slot cost.
+//
+// This package provides an engine with exactly those semantics: nodes have
+// arbitrary phase parities, the adversary jams up to t frequencies per
+// half-slot, and unmodified sim.Agent protocols run on top. A test
+// verifies that with all phases equal the engine reproduces the slotted
+// semantics, and the integration tests show the Trapdoor Protocol
+// synchronizing across phase-shifted nodes unchanged.
+package unslotted

@@ -471,6 +471,66 @@ func BenchmarkX7Multihop(b *testing.B) {
 	reportRounds(b, total, b.N)
 }
 
+// BenchmarkMultihopThroughput measures the multi-hop engine in node-rounds
+// per second over the X7 topology shapes, each workload once under the
+// frequency-indexed medium path (the Config.Medium zero value) and once
+// under the legacy per-receiver neighbor scan, so the indexed/scan ratio
+// per shape IS the speedup. The schedule trickles the nodes in (the -full
+// sweep tier's shape): the scan path walks all N schedule slots and every
+// listener's full neighborhood each round, while the indexed path touches
+// only awake nodes and intersects frequency buckets with neighborhoods —
+// the acceptance bar is a measurable node-rounds/s win on RGG at N ≥ 1024.
+func BenchmarkMultihopThroughput(b *testing.B) {
+	p := trapdoor.Params{N: 64, F: 24, T: 2}
+	shapes := []struct {
+		name string
+		topo *multihop.Topology
+	}{
+		{"line-1024", multihop.Line(1024)},
+		{"grid-32x32", multihop.Grid(32, 32)},
+		{"rgg-1024", multihop.RandomGeometricConnected(1024, 0.07, 7)},
+		{"rgg-4096", multihop.RandomGeometricConnected(4096, 0.04, 7)},
+	}
+	mediums := []struct {
+		name   string
+		medium sim.MediumPath
+	}{
+		{"indexed", sim.MediumIndexed},
+		{"scan", sim.MediumScan},
+	}
+	for _, c := range shapes {
+		c := c
+		for _, m := range mediums {
+			m := m
+			b.Run(m.name+"/"+c.name, func(b *testing.B) {
+				var nodeRounds uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := multihop.Run(&multihop.Config{
+						F: p.F, T: p.T,
+						Seed:     uint64(i),
+						Topology: c.topo,
+						NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+							return multihop.MustNewRelay(p, r)
+						},
+						Schedule:  sim.Staggered{Count: c.topo.N(), Gap: 2},
+						Adversary: adversary.NewRandom(p.F, p.T, uint64(i)+3),
+						MaxRounds: 2048,
+						RunToMax:  true,
+						Medium:    m.medium,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodeRounds += res.NodeRounds
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(nodeRounds)/b.Elapsed().Seconds(), "node-rounds/s")
+			})
+		}
+	}
+}
+
 // BenchmarkRunnerScaling measures the experiment runner's trial
 // throughput as the worker count grows: the same T10a sweep at
 // Parallelism 1, 2, 4, and NumCPU. The tables are bit-identical at every

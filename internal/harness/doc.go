@@ -9,9 +9,11 @@
 // shrinks every sweep to its smallest meaningful grid (CI smoke tests),
 // the default reproduces the paper-scale tables, and Full expands the
 // Theorem 10 / Theorem 18 and lower-bound sweeps to N = 16384, F = 128,
-// and dense t grids — affordable because the sim package's
-// frequency-indexed medium path makes a round's cost independent of F and
-// N. Each sweep point's Monte-Carlo trials are fanned across worker
-// goroutines by runner.go, with results bit-identical at every
-// parallelism level.
+// and dense t grids, plus the widened X-series (X7 random geometric
+// graphs to N = 4096 swept by diameter, the X8 adversary gallery at
+// F = 128) — affordable because the shared frequency-indexed medium
+// path (internal/medium, under both the sim and multihop engines) makes
+// a round's cost independent of F and N. Each sweep point's Monte-Carlo
+// trials are fanned across worker goroutines by runner.go, with results
+// bit-identical at every parallelism level.
 package harness

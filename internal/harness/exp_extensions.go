@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"wsync/internal/adversary"
@@ -172,22 +173,42 @@ func runX7(o Options) (*Table, error) {
 		Title:   "Multi-hop relay synchronization (Section 8)",
 		Columns: []string{"topology", "nodes", "diameter", "median rounds", "schemes merged to"},
 	}
-	p := trapdoor.Params{N: 8, F: 6, T: 2}
 	type topoCase struct {
 		name string
 		topo *multihop.Topology
+		p    trapdoor.Params
 	}
+	// Sparse shapes keep the historical participant bound; geometric
+	// graphs have Θ(log n) neighborhoods, so their regional competitions
+	// need a larger bound. The RGG radii sit ~1.5× above the connectivity
+	// threshold √(ln n / (π n)), which keeps diameters growing while
+	// RandomGeometricConnected nearly always accepts the first sample.
+	sparse := trapdoor.Params{N: 8, F: 6, T: 2}
+	geo := trapdoor.Params{N: 64, F: 6, T: 2}
 	cases := []topoCase{
-		{"line-4", multihop.Line(4)},
-		{"line-8", multihop.Line(8)},
-		{"line-16", multihop.Line(16)},
-		{"grid-4x4", multihop.Grid(4, 4)},
+		{"line-4", multihop.Line(4), sparse},
+		{"line-8", multihop.Line(8), sparse},
+		{"line-16", multihop.Line(16), sparse},
+		{"grid-4x4", multihop.Grid(4, 4), sparse},
+		{"rgg-64", multihop.RandomGeometricConnected(64, 0.22, 41), geo},
+	}
+	if o.Full {
+		// Full tier: random geometric graphs to N=4096 — the ad hoc
+		// deployment sweep the frequency-indexed multi-hop medium makes
+		// tractable. Point keys stay index-based, so appending here (and
+		// only here) keeps the historical cases' trial seeds stable.
+		cases = append(cases,
+			topoCase{"rgg-256", multihop.RandomGeometricConnected(256, 0.125, 42), geo},
+			topoCase{"rgg-1024", multihop.RandomGeometricConnected(1024, 0.07, 43), geo},
+			topoCase{"rgg-4096", multihop.RandomGeometricConnected(4096, 0.04, 44), geo},
+		)
 	}
 	if o.quick() {
 		cases = cases[:2]
 	}
 	for ci, c := range cases {
 		ci, c := ci, c
+		p := c.p
 		var conflicting atomic.Bool
 		s, err := o.summarizeTrials(o.trials(), func(i int) (float64, error) {
 			nodes := make([]*multihop.RelayNode, c.topo.N())
@@ -271,7 +292,20 @@ func runX8(o Options) (*Table, error) {
 		Title:   "Adversary gallery (model robustness)",
 		Columns: []string{"adversary", "synced", "median rounds", "multi-leader runs", "violation runs"},
 	}
-	const nBound, f, tJam, active = 64, 8, 3, 8
+	const nBound, active = 64, 8
+	f, tJam := 8, 3
+	maxRounds := uint64(1 << 21)
+	key := uint64(0) // the historical shared ptCompare stream
+	if o.Full {
+		// Full tier: the whole gallery on the wide band, where a 37%
+		// jammed fraction leaves F−t = 80 clear frequencies a round. The
+		// indexed medium path keeps per-round cost independent of the 128
+		// frequencies; the fresh point key gives the new grid its own
+		// trial streams.
+		f, tJam = 128, 48
+		maxRounds = 1 << 22
+		key = uint64(f)
+	}
 	names := adversary.Names()
 	if o.quick() {
 		names = []string{"none", "fixed", "reactive"}
@@ -283,7 +317,7 @@ func runX8(o Options) (*Table, error) {
 			name string
 			mk   func(r *rng.Rand) sim.Agent
 		}{{name, func(r *rng.Rand) sim.Agent { return trapdoor.MustNew(tp, r) }}}
-		err := compareProtocols(o, tbl, f, tJam, active,
+		err := compareProtocols(o, tbl, key, f, tJam, active,
 			sim.Staggered{Count: active, Gap: 5},
 			func(seed uint64) sim.Adversary {
 				adv, err := adversary.New(name, f, tJam, seed+17)
@@ -292,13 +326,13 @@ func runX8(o Options) (*Table, error) {
 				}
 				return adv
 			},
-			protos, 1<<21)
+			protos, maxRounds)
 		if err != nil {
 			return nil, err
 		}
 	}
 	tbl.Notes = append(tbl.Notes,
-		"same protocol, same budget t, different jammer strategies (staggered arrivals)",
+		fmt.Sprintf("same protocol, same budget t=%d on F=%d, different jammer strategies (staggered arrivals)", tJam, f),
 		"reactive targets last round's transmitters; stalker targets last round's listeners",
 		"the guarantee is worst-case: every strategy must leave the protocol live and safe")
 	return tbl, nil

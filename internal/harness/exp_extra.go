@@ -36,8 +36,11 @@ func (ps *protoStats) addRow(tbl *Table, name string) {
 }
 
 // compareProtocols runs each named agent factory under the same
-// environment and collects the comparison statistics.
-func compareProtocols(o Options, tbl *Table, f, tJam, active int,
+// environment and collects the comparison statistics. key selects the
+// sweep-point value under the shared ptCompare tag: the historical grids
+// all pass 0 (deliberately sharing trial randomness across X2/X4/X8
+// rows), new grids pass a distinguishing value for fresh streams.
+func compareProtocols(o Options, tbl *Table, key uint64, f, tJam, active int,
 	sched sim.Schedule, mkAdv func(seed uint64) sim.Adversary,
 	protos []struct {
 		name string
@@ -48,7 +51,7 @@ func compareProtocols(o Options, tbl *Table, f, tJam, active int,
 		results, err := o.parallelRuns(o.trials(), func(i int) (runResult, error) {
 			// Every protocol sees the same per-trial seed so the comparison
 			// holds the randomness fixed across rows.
-			seed := o.TrialSeed(pointKey(ptCompare, 0), i)
+			seed := o.TrialSeed(pointKey(ptCompare, key), i)
 			check := props.NewChecker(active)
 			cfg := &sim.Config{
 				F:    f,
@@ -113,7 +116,7 @@ func runX2(o Options) (*Table, error) {
 	// Staggered activation: devices that self-commit at different ages
 	// hold different numberings, so the baselines' agreement failures are
 	// observable (with simultaneous starts their wrong outputs coincide).
-	err := compareProtocols(o, tbl, f, tJam, active,
+	err := compareProtocols(o, tbl, 0, f, tJam, active,
 		sim.Staggered{Count: active, Gap: 3},
 		func(seed uint64) sim.Adversary { return adversary.NewPrefix(f, tJam) },
 		protos, 1<<21)
@@ -252,7 +255,7 @@ func runX4(o Options) (*Table, error) {
 			return trapdoor.MustNew(trapdoor.Params{N: nBound, F: f, T: tJam, CEpoch: 12, CFinal: 6}, r)
 		}},
 	}
-	err := compareProtocols(o, tbl, f, tJam, active,
+	err := compareProtocols(o, tbl, 0, f, tJam, active,
 		sim.Staggered{Count: active, Gap: 3},
 		func(seed uint64) sim.Adversary { return adversary.NewPrefix(f, tJam) },
 		tdProtos, 1<<21)
@@ -274,7 +277,7 @@ func runX4(o Options) (*Table, error) {
 			return samaritan.MustNew(samaritan.Params{N: gsN, F: gsF, T: gsT, AblationNoHelp: true}, r)
 		}},
 	}
-	err = compareProtocols(o, tbl, gsF, gsT, gsActive,
+	err = compareProtocols(o, tbl, 0, gsF, gsT, gsActive,
 		sim.Simultaneous{Count: gsActive},
 		func(seed uint64) sim.Adversary { return adversary.NewLowPrefix(gsF, 1) },
 		gsProtos, 1<<23)

@@ -1,0 +1,249 @@
+package medium
+
+import "sort"
+
+// Graph is the read-only topology view the resolver resolves receptions
+// against: an undirected communication graph over dense node indices
+// 0..N-1. Implementations must list each node's neighbors in ascending
+// order — the resolver binary-searches neighbor lists on the bucket-walk
+// path. A nil Graph means the complete graph (the single-hop model):
+// every node neighbors every other node.
+type Graph interface {
+	// N returns the node count.
+	N() int
+	// Neighbors returns node i's neighbor list in ascending order. The
+	// resolver never mutates the returned slice.
+	Neighbors(i int) []int
+}
+
+// Activation tracks which nodes are awake. Nodes never deactivate, so the
+// active list only ever grows; it is kept in ascending index order, which
+// is the iteration order both medium resolvers and the engines' bookkeeping
+// loops depend on. Buckets map an activation round to the nodes it wakes,
+// so waking a round's nodes costs O(|bucket|), not O(N).
+type Activation struct {
+	rounds  []uint64
+	buckets map[uint64][]int
+	active  []int
+	max     uint64
+}
+
+// NewActivation indexes the given per-node activation rounds (as read from
+// a schedule). The slice is retained; callers must not mutate it.
+func NewActivation(rounds []uint64) *Activation {
+	a := &Activation{
+		rounds:  rounds,
+		buckets: make(map[uint64][]int),
+	}
+	for i, r := range rounds {
+		// Range over the slice visits nodes in ascending index order, so
+		// each bucket is born sorted.
+		a.buckets[r] = append(a.buckets[r], i)
+		if r > a.max {
+			a.max = r
+		}
+	}
+	return a
+}
+
+// Round returns node i's activation round.
+func (a *Activation) Round(i int) uint64 { return a.rounds[i] }
+
+// Max returns the latest activation round of any node.
+func (a *Activation) Max() uint64 { return a.max }
+
+// Active returns the awake nodes in ascending index order. The slice is
+// valid until the next Wake call.
+func (a *Activation) Active() []int { return a.active }
+
+// Wake merges round r's activation bucket into the active list and returns
+// the bucket (nil if the round wakes nobody) so callers can run their own
+// per-node bookkeeping over exactly the newly woken nodes.
+func (a *Activation) Wake(r uint64) []int {
+	bucket := a.buckets[r]
+	if len(bucket) == 0 {
+		return nil
+	}
+	old := a.active
+	// Schedules usually activate in index order, so the append fast path
+	// covers almost every round; the general merge handles explicit
+	// schedules that wake a low index after a high one.
+	if len(old) == 0 || old[len(old)-1] < bucket[0] {
+		a.active = append(old, bucket...)
+		return bucket
+	}
+	merged := make([]int, 0, len(old)+len(bucket))
+	i, j := 0, 0
+	for i < len(old) && j < len(bucket) {
+		if old[i] < bucket[j] {
+			merged = append(merged, old[i])
+			i++
+		} else {
+			merged = append(merged, bucket[j])
+			j++
+		}
+	}
+	merged = append(merged, old[i:]...)
+	merged = append(merged, bucket[j:]...)
+	a.active = merged
+	return bucket
+}
+
+// Resolver indexes one round of radio activity by frequency: per-frequency
+// transmitter buckets and a listener list, built from one pass over the
+// awake nodes, with only the frequencies actually touched this round
+// classified and re-zeroed. Per-round cost is O(active · log active),
+// independent of F and N.
+//
+// Usage per round: Transmit/Listen for every awake node, then
+// TouchedAscending and Receive to classify, then Reset. The zero frequency
+// is reserved (frequencies are 1-based).
+type Resolver struct {
+	f     int
+	graph Graph
+
+	txCount   []int // per frequency: transmitter count
+	txLast    []int // per frequency: the most recently registered transmitter
+	txNodes   [][]int
+	touched   []int
+	listeners []int
+
+	// txFreq[i] is the frequency node i transmits on this round (0 when
+	// listening or asleep). Only maintained in graph mode, where the
+	// neighbor-walk needs O(1) "is w transmitting on f" queries.
+	txFreq []int
+}
+
+// NewResolver builds a resolver for frequencies 1..f over n nodes. A nil
+// graph selects the complete-graph (single-hop) fast path, which never
+// materializes transmitter buckets or per-node transmit state.
+func NewResolver(f int, n int, graph Graph) *Resolver {
+	r := &Resolver{
+		f:       f,
+		graph:   graph,
+		txCount: make([]int, f+1),
+		txLast:  make([]int, f+1),
+	}
+	if graph != nil {
+		r.txNodes = make([][]int, f+1)
+		r.txFreq = make([]int, n)
+	}
+	return r
+}
+
+// Transmit registers node i as transmitting on frequency f this round.
+// Nodes must be registered in ascending index order (iterate the active
+// list), so each frequency's bucket is born sorted.
+func (r *Resolver) Transmit(i, f int) {
+	if r.txCount[f] == 0 {
+		r.touched = append(r.touched, f)
+	}
+	r.txCount[f]++
+	r.txLast[f] = i
+	if r.graph != nil {
+		r.txNodes[f] = append(r.txNodes[f], i)
+		r.txFreq[i] = f
+	}
+}
+
+// Listen registers node i as listening this round. Like Transmit, calls
+// must come in ascending index order.
+func (r *Resolver) Listen(i int) {
+	r.listeners = append(r.listeners, i)
+}
+
+// Listeners returns this round's listeners in registration (ascending
+// node) order. Valid until Reset.
+func (r *Resolver) Listeners() []int { return r.listeners }
+
+// TouchedAscending sorts and returns the frequencies at least one node
+// transmitted on this round, in ascending order — matching the legacy scan
+// resolvers' [1..F] sweep order bit for bit. Valid until Reset.
+func (r *Resolver) TouchedAscending() []int {
+	sort.Ints(r.touched)
+	return r.touched
+}
+
+// Count returns the number of transmitters on frequency f this round.
+func (r *Resolver) Count(f int) int { return r.txCount[f] }
+
+// From returns the transmitter on frequency f; meaningful when Count(f)
+// is exactly 1.
+func (r *Resolver) From(f int) int { return r.txLast[f] }
+
+// Receive resolves what listener u hears on frequency f: the number of
+// transmitters in u's neighborhood on f, and one of them (the unique one
+// when count is 1). The count saturates at 2 — callers only distinguish
+// silence, a clean reception, and a collision.
+//
+// With a nil graph every transmitter is a neighbor and the answer is the
+// global per-frequency count. With a graph, the resolver intersects the
+// frequency's transmitter bucket with u's neighborhood, walking whichever
+// side is smaller: the neighbor-walk probes per-node transmit state for
+// each neighbor of u, the bucket-walk binary-searches u's sorted neighbor
+// list for each transmitter on f.
+func (r *Resolver) Receive(u, f int) (from, count int) {
+	if r.graph == nil {
+		count = r.txCount[f]
+		if count > 2 {
+			count = 2
+		}
+		return r.txLast[f], count
+	}
+	bucket := r.txNodes[f]
+	if len(bucket) == 0 {
+		return -1, 0
+	}
+	nbrs := r.graph.Neighbors(u)
+	from = -1
+	if len(nbrs) <= len(bucket) {
+		for _, w := range nbrs {
+			if r.txFreq[w] == f {
+				from = w
+				if count++; count >= 2 {
+					return from, 2
+				}
+			}
+		}
+		return from, count
+	}
+	for _, w := range bucket {
+		if containsSorted(nbrs, w) {
+			from = w
+			if count++; count >= 2 {
+				return from, 2
+			}
+		}
+	}
+	return from, count
+}
+
+// containsSorted reports whether x occurs in the ascending slice s.
+func containsSorted(s []int, x int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+// Reset re-zeroes only what this round dirtied, preparing the resolver for
+// the next round in O(touched + transmitters + listeners).
+func (r *Resolver) Reset() {
+	for _, f := range r.touched {
+		r.txCount[f] = 0
+		if r.graph != nil {
+			for _, i := range r.txNodes[f] {
+				r.txFreq[i] = 0
+			}
+			r.txNodes[f] = r.txNodes[f][:0]
+		}
+	}
+	r.touched = r.touched[:0]
+	r.listeners = r.listeners[:0]
+}

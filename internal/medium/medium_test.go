@@ -1,0 +1,158 @@
+package medium
+
+import (
+	"testing"
+)
+
+// testGraph is a minimal Graph over explicit ascending adjacency lists.
+type testGraph struct {
+	adj [][]int
+}
+
+func (g *testGraph) N() int                { return len(g.adj) }
+func (g *testGraph) Neighbors(i int) []int { return g.adj[i] }
+
+func TestActivationWakeInOrder(t *testing.T) {
+	a := NewActivation([]uint64{1, 1, 3, 3, 5})
+	if a.Max() != 5 {
+		t.Fatalf("Max = %d, want 5", a.Max())
+	}
+	if got := a.Wake(1); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("round 1 bucket = %v", got)
+	}
+	if got := a.Wake(2); got != nil {
+		t.Fatalf("round 2 bucket = %v, want nil", got)
+	}
+	a.Wake(3)
+	a.Wake(5)
+	want := []int{0, 1, 2, 3, 4}
+	if got := a.Active(); len(got) != len(want) {
+		t.Fatalf("active = %v", got)
+	}
+	for i, v := range want {
+		if a.Active()[i] != v {
+			t.Fatalf("active = %v, want %v", a.Active(), want)
+		}
+	}
+}
+
+// TestActivationWakeOutOfOrder exercises the merge path: a high index
+// wakes before a low one, and the active list must stay ascending.
+func TestActivationWakeOutOfOrder(t *testing.T) {
+	a := NewActivation([]uint64{3, 1, 2})
+	a.Wake(1) // node 1
+	a.Wake(2) // node 2
+	a.Wake(3) // node 0 — must merge in front
+	want := []int{0, 1, 2}
+	got := a.Active()
+	if len(got) != len(want) {
+		t.Fatalf("active = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("active = %v, want ascending %v", got, want)
+		}
+	}
+	// Rounds survive for local-round arithmetic.
+	if a.Round(0) != 3 || a.Round(2) != 2 {
+		t.Fatal("Round() lost the schedule")
+	}
+}
+
+// TestResolverCompleteGraph checks the single-hop (nil graph) path:
+// Receive answers from the global per-frequency counters.
+func TestResolverCompleteGraph(t *testing.T) {
+	r := NewResolver(4, 5, nil)
+	r.Transmit(0, 2)
+	r.Transmit(1, 3)
+	r.Transmit(2, 3)
+	r.Listen(3)
+	r.Listen(4)
+	touched := r.TouchedAscending()
+	if len(touched) != 2 || touched[0] != 2 || touched[1] != 3 {
+		t.Fatalf("touched = %v", touched)
+	}
+	if r.Count(2) != 1 || r.From(2) != 0 {
+		t.Fatalf("freq 2: count=%d from=%d", r.Count(2), r.From(2))
+	}
+	if from, count := r.Receive(3, 2); count != 1 || from != 0 {
+		t.Fatalf("Receive(3,2) = %d,%d", from, count)
+	}
+	if _, count := r.Receive(3, 3); count != 2 {
+		t.Fatalf("Receive(3,3) count = %d, want saturated 2", count)
+	}
+	if _, count := r.Receive(4, 1); count != 0 {
+		t.Fatalf("Receive(4,1) count = %d, want 0", count)
+	}
+	if l := r.Listeners(); len(l) != 2 || l[0] != 3 || l[1] != 4 {
+		t.Fatalf("listeners = %v", l)
+	}
+	r.Reset()
+	if r.Count(2) != 0 || r.Count(3) != 0 || len(r.Listeners()) != 0 {
+		t.Fatal("Reset did not clear the round")
+	}
+}
+
+// TestResolverGraphWalks exercises both intersection strategies on a star
+// graph: the hub has high degree (bucket-walk), the leaves degree one
+// (neighbor-walk).
+func TestResolverGraphWalks(t *testing.T) {
+	// Star: 0 is the hub of 1..6; plus the detached edge 7—8.
+	g := &testGraph{adj: [][]int{
+		{1, 2, 3, 4, 5, 6}, {0}, {0}, {0}, {0}, {0}, {0}, {8}, {7},
+	}}
+	r := NewResolver(3, g.N(), g)
+	r.Transmit(2, 1) // leaf 2 on freq 1
+	r.Transmit(8, 1) // detached node 8 on freq 1
+	r.Listen(0)
+	r.Listen(1)
+	r.Listen(7)
+
+	// Hub: bucket {2, 8} is smaller than degree 6 — bucket-walk finds
+	// only neighbor 2.
+	if from, count := r.Receive(0, 1); count != 1 || from != 2 {
+		t.Fatalf("hub Receive = %d,%d, want 2,1", from, count)
+	}
+	// Leaf 1: degree 1 — neighbor-walk; its only neighbor 0 listens.
+	if _, count := r.Receive(1, 1); count != 0 {
+		t.Fatalf("leaf Receive count = %d, want 0", count)
+	}
+	// Node 7 neighbors only 8, which transmits on 1.
+	if from, count := r.Receive(7, 1); count != 1 || from != 8 {
+		t.Fatalf("detached Receive = %d,%d, want 8,1", from, count)
+	}
+
+	// A second hub transmitter makes the hub collide; leaves still hear
+	// only their own neighbor.
+	r.Transmit(5, 1)
+	if _, count := r.Receive(0, 1); count != 2 {
+		t.Fatalf("hub collision count = %d, want 2", count)
+	}
+	if from, count := r.Receive(7, 1); count != 1 || from != 8 {
+		t.Fatalf("spatial reuse broken: %d,%d", from, count)
+	}
+
+	// Reset clears per-node transmit state too.
+	r.Reset()
+	r.Listen(0)
+	if _, count := r.Receive(0, 1); count != 0 {
+		t.Fatalf("after Reset, hub hears count = %d, want 0", count)
+	}
+}
+
+func TestContainsSorted(t *testing.T) {
+	s := []int{1, 4, 7, 9, 30}
+	for _, x := range s {
+		if !containsSorted(s, x) {
+			t.Fatalf("missing %d", x)
+		}
+	}
+	for _, x := range []int{0, 2, 8, 31} {
+		if containsSorted(s, x) {
+			t.Fatalf("phantom %d", x)
+		}
+	}
+	if containsSorted(nil, 1) {
+		t.Fatal("phantom in empty")
+	}
+}

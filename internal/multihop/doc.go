@@ -9,6 +9,24 @@
 // hear each other (the hidden-terminal effect). The adversary jams up to t
 // frequencies per round network-wide.
 //
+// The engine shares its activation and frequency-indexing machinery with
+// the single-hop simulator through internal/medium. On the default path
+// (Config.Medium zero value) each round costs O(active): one pass over
+// the awake nodes builds per-frequency transmitter buckets, and a
+// listener's reception is resolved by intersecting its frequency's bucket
+// with its neighborhood — bucket-walk or neighbor-walk, whichever side is
+// smaller. The complete graph (Clique) is exactly the single-hop model,
+// which TestCliqueMatchesSingleHop pins against internal/sim. The legacy
+// per-receiver full neighbor scan survives behind sim.MediumScan as the
+// differential-testing oracle (TestMultihopMediumDifferential), mirroring
+// the single-hop engine's resolver pair.
+//
+// Topologies cover lines, grids, cliques, and random geometric graphs
+// (RandomGeometric, with RandomGeometricConnected retrying samples until
+// connected); Diameter reports the hop-count diameter by BFS, the
+// x-axis of the X7 convergence sweep, which climbs geometric graphs to
+// N=4096 under the -full tier.
+//
 // On top of the engine, RelayNode extends the Trapdoor Protocol across
 // hops: nodes compete locally exactly as in the single-hop protocol, and
 // every node that adopts a numbering becomes a relay that re-announces it.

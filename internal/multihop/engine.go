@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"wsync/internal/freqset"
+	"wsync/internal/medium"
 	"wsync/internal/msg"
 	"wsync/internal/rng"
 	"wsync/internal/sim"
@@ -35,11 +36,23 @@ type Config struct {
 	// after every round, in addition to the default rule). Closures
 	// typically inspect retained agent references.
 	StopWhen func(round uint64) bool
+	// Medium selects the medium-resolution path, mirroring sim.Config.
+	// The zero value (sim.MediumIndexed) is the frequency-indexed fast
+	// path: per-round work is O(active), with each listener's reception
+	// resolved by intersecting its frequency's transmitter bucket with
+	// its neighborhood. sim.MediumScan forces the legacy per-receiver
+	// full neighbor scan, retained as the differential-testing oracle
+	// (TestMultihopMediumDifferential asserts the two paths produce
+	// bit-identical Results).
+	Medium sim.MediumPath
 }
 
 // Result reports a multi-hop run.
 type Result struct {
-	Rounds       uint64
+	Rounds uint64
+	// NodeRounds counts active node-rounds (Σ over rounds of awake
+	// nodes) — the throughput denominator of BenchmarkMultihopThroughput.
+	NodeRounds   uint64
 	AllSynced    bool
 	SyncRound    []uint64 // global round of first non-⊥ output per node
 	Leaders      int
@@ -66,128 +79,226 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// engine is the multi-hop run state. It shares the activation and
+// frequency-indexing machinery with the single-hop engine through
+// internal/medium; only reception resolution differs (per-neighborhood
+// instead of global).
+type engine struct {
+	cfg  *Config
+	n    int
+	topo *Topology
+
+	agents     []sim.Agent
+	activation []uint64
+	agentRNG   []*rng.Rand
+	active     []bool
+	actions    []sim.Action
+
+	act *medium.Activation
+	med *medium.Resolver
+
+	// pending delivery per node for the current round; pendingList names
+	// the nodes with hasPending set, in ascending order.
+	pending     []msg.Message
+	hasPending  []bool
+	pendingList []int
+
+	hist           *sim.History
+	res            *Result
+	empty          *freqset.Set
+	synced         int
+	activatedCount int
+}
+
+func newEngine(c *Config) (*engine, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	n := c.Topology.N()
+	e := &engine{
+		cfg:        c,
+		n:          n,
+		topo:       c.Topology,
+		agents:     make([]sim.Agent, n),
+		activation: make([]uint64, n),
+		agentRNG:   make([]*rng.Rand, n),
+		active:     make([]bool, n),
+		actions:    make([]sim.Action, n),
+		pending:    make([]msg.Message, n),
+		hasPending: make([]bool, n),
+		hist:       &sim.History{F: c.F, Activated: make([]uint64, n), Received: make([]bool, n)},
+		res:        &Result{SyncRound: make([]uint64, n)},
+		empty:      freqset.New(c.F),
+	}
+	master := rng.New(c.Seed)
+	for i := 0; i < n; i++ {
+		e.activation[i] = 1
+		if c.Schedule != nil {
+			e.activation[i] = c.Schedule.ActivationRound(i)
+			if e.activation[i] < 1 {
+				return nil, fmt.Errorf("multihop: node %d activation %d", i, e.activation[i])
+			}
+		}
+		e.agentRNG[i] = master.Split(uint64(i))
+	}
+	e.act = medium.NewActivation(e.activation)
+	e.med = medium.NewResolver(c.F, n, c.Topology)
+	return e, nil
+}
+
+// disruptedSet obtains and validates the adversary's choice for round r.
+func (e *engine) disruptedSet(r uint64) *freqset.Set {
+	if e.cfg.Adversary == nil {
+		return e.empty
+	}
+	s := e.cfg.Adversary.Disrupt(r, e.hist)
+	if s == nil {
+		return e.empty
+	}
+	if s.Len() > e.cfg.T {
+		panic(fmt.Sprintf("multihop: adversary jammed %d > %d", s.Len(), e.cfg.T))
+	}
+	return s
+}
+
+// queueDelivery records listener i's clean reception of node from's
+// transmission.
+func (e *engine) queueDelivery(i, from int) {
+	e.pending[i] = e.actions[from].Msg
+	e.hasPending[i] = true
+	e.pendingList = append(e.pendingList, i)
+	e.hist.Received[i] = true
+	e.res.Deliveries++
+}
+
+// resolveScan is the legacy per-receiver resolver: every listener walks
+// its full neighbor list counting same-frequency transmitters. It is kept
+// verbatim as the differential-testing oracle for the indexed path.
+func (e *engine) resolveScan(disrupted *freqset.Set) {
+	for i := 0; i < e.n; i++ {
+		if !e.active[i] || e.actions[i].Transmit {
+			continue
+		}
+		f := e.actions[i].Freq
+		txNeighbor := -1
+		txCount := 0
+		for _, w := range e.topo.Neighbors(i) {
+			if e.active[w] && e.actions[w].Transmit && e.actions[w].Freq == f {
+				txCount++
+				txNeighbor = w
+			}
+		}
+		switch {
+		case txCount == 0:
+		case txCount >= 2:
+			e.res.Collisions++
+		case disrupted.Contains(f):
+			// jammed: nothing heard
+		default:
+			e.queueDelivery(i, txNeighbor)
+		}
+	}
+}
+
+// resolveIndexed is the frequency-indexed fast path: one pass over the
+// awake nodes builds per-frequency transmitter buckets, then each
+// listener's reception is resolved by intersecting its frequency's bucket
+// with its neighborhood (bucket-walk or neighbor-walk, whichever side is
+// smaller). Listeners whose frequency nobody transmitted on cost O(1).
+func (e *engine) resolveIndexed(disrupted *freqset.Set) {
+	med := e.med
+	for _, i := range e.act.Active() {
+		if e.actions[i].Transmit {
+			med.Transmit(i, e.actions[i].Freq)
+		} else {
+			med.Listen(i)
+		}
+	}
+	for _, i := range med.Listeners() {
+		f := e.actions[i].Freq
+		from, count := med.Receive(i, f)
+		switch {
+		case count == 0:
+		case count >= 2:
+			e.res.Collisions++
+		case disrupted.Contains(f):
+			// jammed: nothing heard
+		default:
+			e.queueDelivery(i, from)
+		}
+	}
+	med.Reset()
+}
+
 // Run executes the simulation. Semantics per round: every active node
 // picks (frequency, transmit/listen); a listener u receives iff exactly
 // one neighbor of u transmitted on u's frequency and the adversary did not
 // jam it.
 func Run(c *Config) (*Result, error) {
-	if err := c.validate(); err != nil {
+	e, err := newEngine(c)
+	if err != nil {
 		return nil, err
 	}
-	n := c.Topology.N()
 	maxRounds := c.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = sim.DefaultMaxRounds
 	}
-
-	master := rng.New(c.Seed)
-	agents := make([]sim.Agent, n)
-	activation := make([]uint64, n)
-	active := make([]bool, n)
-	actions := make([]sim.Action, n)
-	pending := make([]msg.Message, n)
-	hasPending := make([]bool, n)
-	for i := 0; i < n; i++ {
-		activation[i] = 1
-		if c.Schedule != nil {
-			activation[i] = c.Schedule.ActivationRound(i)
-			if activation[i] < 1 {
-				return nil, fmt.Errorf("multihop: node %d activation %d", i, activation[i])
-			}
-		}
-	}
-
-	res := &Result{SyncRound: make([]uint64, n)}
-	hist := &sim.History{F: c.F, Activated: make([]uint64, n), Received: make([]bool, n)}
-	empty := freqset.New(c.F)
-	synced := 0
+	res := e.res
 
 	for r := uint64(1); r <= maxRounds; r++ {
-		for i := 0; i < n; i++ {
-			if !active[i] && activation[i] == r {
-				active[i] = true
-				agents[i] = c.NewAgent(sim.NodeID(i), r, master.Split(uint64(i)))
-				hist.Activated[i] = r
+		for _, i := range e.act.Wake(r) {
+			e.active[i] = true
+			e.agents[i] = c.NewAgent(sim.NodeID(i), r, e.agentRNG[i])
+			e.hist.Activated[i] = r
+			e.activatedCount++
+		}
+		disrupted := e.disruptedSet(r)
+		for _, i := range e.act.Active() {
+			e.actions[i] = e.agents[i].Step(r - e.activation[i] + 1)
+			if e.actions[i].Freq < 1 || e.actions[i].Freq > c.F {
+				panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, e.actions[i].Freq))
 			}
 		}
-		disrupted := empty
-		if c.Adversary != nil {
-			if s := c.Adversary.Disrupt(r, hist); s != nil {
-				if s.Len() > c.T {
-					panic(fmt.Sprintf("multihop: adversary jammed %d > %d", s.Len(), c.T))
-				}
-				disrupted = s
-			}
+		res.NodeRounds += uint64(len(e.act.Active()))
+
+		// Only nodes on pendingList can have hasPending set, so clearing
+		// them is equivalent to the legacy full sweep over all N.
+		for _, i := range e.pendingList {
+			e.hasPending[i] = false
 		}
-		for i := 0; i < n; i++ {
-			if active[i] {
-				actions[i] = agents[i].Step(r - activation[i] + 1)
-				if actions[i].Freq < 1 || actions[i].Freq > c.F {
-					panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, actions[i].Freq))
-				}
-			}
+		e.pendingList = e.pendingList[:0]
+
+		if c.Medium == sim.MediumScan {
+			e.resolveScan(disrupted)
+		} else {
+			e.resolveIndexed(disrupted)
 		}
 
-		// Per-receiver resolution over neighborhoods.
-		for i := 0; i < n; i++ {
-			hasPending[i] = false
-			if !active[i] || actions[i].Transmit {
-				continue
-			}
-			f := actions[i].Freq
-			txNeighbor := -1
-			txCount := 0
-			for _, w := range c.Topology.Neighbors(i) {
-				if active[w] && actions[w].Transmit && actions[w].Freq == f {
-					txCount++
-					txNeighbor = w
-				}
-			}
-			switch {
-			case txCount == 0:
-			case txCount >= 2:
-				res.Collisions++
-			case disrupted.Contains(f):
-				// jammed: nothing heard
-			default:
-				pending[i] = actions[txNeighbor].Msg
-				hasPending[i] = true
-				hist.Received[i] = true
-				res.Deliveries++
-			}
+		for _, i := range e.pendingList {
+			e.agents[i].Deliver(e.pending[i])
 		}
-		for i := 0; i < n; i++ {
-			if hasPending[i] {
-				agents[i].Deliver(pending[i])
-			}
-		}
-		allUp := true
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				allUp = false
-				continue
-			}
+		for _, i := range e.act.Active() {
 			if res.SyncRound[i] == 0 {
-				if out := agents[i].Output(); out.Synced {
+				if out := e.agents[i].Output(); out.Synced {
 					res.SyncRound[i] = r
-					synced++
+					e.synced++
 				}
 			}
 		}
-		hist.Completed = r
+		e.hist.Completed = r
 		res.Rounds = r
 		if c.StopWhen != nil && c.StopWhen(r) {
 			break
 		}
-		if !c.RunToMax && allUp && synced == n {
+		if !c.RunToMax && e.activatedCount == e.n && e.synced == e.n {
 			break
 		}
 	}
-	res.AllSynced = synced == n
+	res.AllSynced = e.synced == e.n
 	res.HitMaxRounds = res.Rounds == maxRounds && !res.AllSynced
-	for i := 0; i < n; i++ {
-		if agents[i] != nil {
-			if lr, ok := agents[i].(sim.LeaderReporter); ok && lr.IsLeader() {
+	for i := 0; i < e.n; i++ {
+		if e.agents[i] != nil {
+			if lr, ok := e.agents[i].(sim.LeaderReporter); ok && lr.IsLeader() {
 				res.Leaders++
 			}
 		}

@@ -75,6 +75,62 @@ func TestRandomGeometric(t *testing.T) {
 	}
 }
 
+func TestRandomGeometricConnected(t *testing.T) {
+	// Deterministic in seed, and always connected even when plain
+	// RandomGeometric frequently is not at this radius.
+	a := RandomGeometricConnected(40, 0.25, 3)
+	if !a.Connected() {
+		t.Fatal("not connected")
+	}
+	b := RandomGeometricConnected(40, 0.25, 3)
+	for i := 0; i < 40; i++ {
+		na, nb := a.Neighbors(i), b.Neighbors(i)
+		if len(na) != len(nb) {
+			t.Fatal("not deterministic")
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestRandomGeometricConnectedPanicsBelowThreshold(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RandomGeometricConnected(64, 0.001, 1)
+}
+
+// TestNeighborsSortedDeduped pins the topology invariant the indexed
+// medium resolver binary-searches on: every adjacency list is strictly
+// ascending (sorted, no duplicates, no self-loops).
+func TestNeighborsSortedDeduped(t *testing.T) {
+	topos := map[string]*Topology{
+		"line": Line(17),
+		"grid": Grid(5, 4),
+		"cliq": Clique(9),
+		"rgg":  RandomGeometric(50, 0.3, 5),
+		"conn": RandomGeometricConnected(30, 0.4, 6),
+	}
+	for name, topo := range topos {
+		for i := 0; i < topo.N(); i++ {
+			nbrs := topo.Neighbors(i)
+			for j := range nbrs {
+				if nbrs[j] == i {
+					t.Fatalf("%s: self-loop at %d", name, i)
+				}
+				if j > 0 && nbrs[j-1] >= nbrs[j] {
+					t.Fatalf("%s: Neighbors(%d) = %v not strictly ascending", name, i, nbrs)
+				}
+			}
+		}
+	}
+}
+
 func TestDiameterPanicsDisconnected(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -361,18 +417,7 @@ func TestRelayOnGeometricGraph(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration sweep")
 	}
-	// Radius 0.55 on 12 nodes is connected for these seeds.
-	var topo *Topology
-	seed := uint64(0)
-	for ; seed < 50; seed++ {
-		topo = RandomGeometric(12, 0.55, seed)
-		if topo.Connected() {
-			break
-		}
-	}
-	if !topo.Connected() {
-		t.Fatal("no connected geometric graph found")
-	}
+	topo := RandomGeometricConnected(12, 0.55, 0)
 	p := trapdoor.Params{N: 16, F: 6, T: 2}
 	nodes := make([]*RelayNode, topo.N())
 	res, err := Run(&Config{

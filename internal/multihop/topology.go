@@ -3,14 +3,22 @@ package multihop
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"wsync/internal/rng"
 )
 
-// Topology is an undirected communication graph over nodes 0..N-1.
+// Topology is an undirected communication graph over nodes 0..N-1. Every
+// constructor returns adjacency lists in ascending neighbor order — the
+// deterministic order engine traces depend on and the sorted invariant
+// the indexed medium resolver binary-searches on its bucket-walk path.
 type Topology struct {
 	n   int
 	adj [][]int
+	// seen guards against duplicate edges during construction in O(1)
+	// per insertion (the old per-edge linear scan of adj[a] made dense
+	// builds like geometric graphs quadratic in degree); finish drops it.
+	seen map[uint64]struct{}
 }
 
 // N returns the node count.
@@ -22,20 +30,39 @@ func (t *Topology) Neighbors(i int) []int { return t.adj[i] }
 // Degree returns node i's degree.
 func (t *Topology) Degree(i int) int { return len(t.adj[i]) }
 
-// newTopology allocates an empty graph.
+// newTopology allocates an empty graph under construction.
 func newTopology(n int) *Topology {
-	return &Topology{n: n, adj: make([][]int, n)}
+	return &Topology{n: n, adj: make([][]int, n), seen: make(map[uint64]struct{})}
 }
 
-// addEdge inserts the undirected edge (a, b) once.
+// addEdge inserts the undirected edge (a, b) once, in O(1) via the
+// seen-edge set.
 func (t *Topology) addEdge(a, b int) {
-	for _, x := range t.adj[a] {
-		if x == b {
-			return
-		}
+	if a == b {
+		panic("multihop: self-loop")
 	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(lo)<<32 | uint64(hi)
+	if _, dup := t.seen[key]; dup {
+		return
+	}
+	t.seen[key] = struct{}{}
 	t.adj[a] = append(t.adj[a], b)
 	t.adj[b] = append(t.adj[b], a)
+}
+
+// finish seals a constructed graph: it drops the construction-time edge
+// set and sorts every adjacency list ascending, establishing the neighbor
+// order the medium resolver's binary search requires.
+func (t *Topology) finish() *Topology {
+	t.seen = nil
+	for i := range t.adj {
+		sort.Ints(t.adj[i])
+	}
+	return t
 }
 
 // Line returns the path topology 0—1—…—n−1 (diameter n−1).
@@ -47,7 +74,7 @@ func Line(n int) *Topology {
 	for i := 0; i+1 < n; i++ {
 		t.addEdge(i, i+1)
 	}
-	return t
+	return t.finish()
 }
 
 // Grid returns the w×h grid topology with 4-neighborhoods.
@@ -67,7 +94,7 @@ func Grid(w, h int) *Topology {
 			}
 		}
 	}
-	return t
+	return t.finish()
 }
 
 // Clique returns the complete graph — the single-hop special case, used to
@@ -82,7 +109,7 @@ func Clique(n int) *Topology {
 			t.addEdge(i, j)
 		}
 	}
-	return t
+	return t.finish()
 }
 
 // RandomGeometric places n nodes uniformly in the unit square and connects
@@ -107,7 +134,25 @@ func RandomGeometric(n int, radius float64, seed uint64) *Topology {
 			}
 		}
 	}
-	return t
+	return t.finish()
+}
+
+// RandomGeometricConnected samples RandomGeometric graphs from seeds
+// derived deterministically from seed until one is connected, and returns
+// it. Above the connectivity threshold radius ≈ √(ln n / (π n)) almost
+// every sample connects, so the loop nearly always returns on the first
+// draw; it panics if 256 consecutive samples are disconnected (the radius
+// is far below threshold — a configuration error).
+func RandomGeometricConnected(n int, radius float64, seed uint64) *Topology {
+	r := rng.New(seed)
+	for attempt := 0; attempt < 256; attempt++ {
+		t := RandomGeometric(n, radius, r.Uint64())
+		if t.Connected() {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("multihop: no connected RandomGeometric(n=%d, radius=%v) within 256 samples of seed %d",
+		n, radius, seed))
 }
 
 // Connected reports whether the graph has a single connected component.

@@ -106,7 +106,7 @@ func RunConcurrent(cfg *Config) (*Result, error) {
 		barrier(workerCmd{phase: phaseStep, round: r})
 		e.resolve(r, disrupted)
 		barrier(workerCmd{phase: phaseDeliver, round: r})
-		for _, i := range e.activeList {
+		for _, i := range e.act.Active() {
 			out := outScratch[i]
 			e.rec.Outputs[i] = out
 			if out.Synced && e.res.SyncRound[i] == 0 {

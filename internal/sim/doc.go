@@ -19,11 +19,14 @@
 // onto goroutines and it parallelizes expensive per-node work.
 //
 // Orthogonally to the engine choice, Config.Medium selects how the shared
-// medium is resolved each round. The default frequency-indexed path
-// buckets broadcasters and listeners by frequency using only the awake
-// nodes, so a round costs O(active) independent of F and N — the property
-// that makes the -full sweep grids (N up to 16384, F up to 128) tractable.
-// The legacy full-scan resolver (MediumScan) survives as a
-// differential-testing oracle; TestMediumDifferential proves the two paths
-// bit-identical in every observable over randomized schedules.
+// medium is resolved each round. The default frequency-indexed path —
+// activation buckets, the sorted awake list, and per-frequency indexing
+// shared with the multi-hop engine through internal/medium, used here on
+// its complete-graph fast path — buckets broadcasters and listeners by
+// frequency using only the awake nodes, so a round costs O(active)
+// independent of F and N: the property that makes the -full sweep grids
+// (N up to 16384, F up to 128) tractable. The legacy full-scan resolver
+// (MediumScan) survives as a differential-testing oracle;
+// TestMediumDifferential proves the two paths bit-identical in every
+// observable over randomized schedules.
 package sim

@@ -2,9 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"wsync/internal/freqset"
+	"wsync/internal/medium"
 	"wsync/internal/msg"
 	"wsync/internal/rng"
 )
@@ -24,12 +24,12 @@ type engine struct {
 	actions []Action // per node, valid for active nodes each round
 	active  []bool   // per node
 
-	// activeList holds the indices of awake nodes in ascending order; it
-	// only ever grows (nodes never deactivate). buckets maps an activation
-	// round to the nodes it wakes, so per-round activation and the indexed
-	// medium path cost O(awake), not O(N).
-	activeList []int
-	buckets    map[uint64][]int
+	// act tracks activation buckets and the sorted awake list; med is the
+	// shared frequency-indexed resolver (internal/medium) on its
+	// complete-graph fast path. Together they make per-round activation
+	// and medium resolution cost O(awake), not O(F + N).
+	act *medium.Activation
+	med *medium.Resolver
 
 	// pending delivery per node for the current round; pendingList names
 	// the nodes with hasPending set, in ascending order.
@@ -37,14 +37,11 @@ type engine struct {
 	hasPending  []bool
 	pendingList []int
 
-	// per-frequency scratch (index 1..F). The indexed path additionally
-	// tracks which frequencies were touched this round, so it can classify
-	// and re-zero only those; the scan path sweeps all of [1..F].
+	// per-frequency scratch (index 1..F) used only by the legacy scan
+	// resolver, which sweeps all of [1..F] every round; the indexed path
+	// keeps its frequency state inside med.
 	txCount []int
 	txFrom  []NodeID
-	touched []int
-	// listeners collects this round's listening nodes in ascending order.
-	listeners []int
 
 	emptySet *freqset.Set
 
@@ -78,12 +75,11 @@ func newEngine(cfg *Config) (*engine, error) {
 	master := rng.New(cfg.Seed)
 	for i := 0; i < n; i++ {
 		e.activation[i] = cfg.Schedule.ActivationRound(i)
-		if e.activation[i] > e.maxActivation {
-			e.maxActivation = e.activation[i]
-		}
 		e.agentRNG[i] = master.Split(uint64(i))
 	}
-	e.buckets = activationBuckets(e.activation)
+	e.act = medium.NewActivation(e.activation)
+	e.maxActivation = e.act.Max()
+	e.med = medium.NewResolver(cfg.F, n, nil)
 	e.hist = History{
 		F:         cfg.F,
 		Activated: make([]uint64, n),
@@ -118,55 +114,22 @@ func (e *engine) maxRounds() uint64 {
 // the sequential engine; the concurrent engine constructs agents inside
 // workers and calls noteActivations instead.
 func (e *engine) activateRound(r uint64) {
-	bucket := e.buckets[r]
-	for _, i := range bucket {
+	for _, i := range e.act.Wake(r) {
 		e.active[i] = true
 		e.agents[i] = e.cfg.NewAgent(NodeID(i), r, e.agentRNG[i])
 		e.hist.Activated[i] = r
 		e.activatedCount++
 	}
-	e.mergeActive(bucket)
 }
 
 // noteActivations performs the activation bookkeeping for round r without
 // constructing agents or flipping the active flags (RunConcurrent's workers
 // do both, in parallel, per owned node).
 func (e *engine) noteActivations(r uint64) {
-	bucket := e.buckets[r]
-	for _, i := range bucket {
+	for _, i := range e.act.Wake(r) {
 		e.hist.Activated[i] = r
 		e.activatedCount++
 	}
-	e.mergeActive(bucket)
-}
-
-// mergeActive merges a sorted activation bucket into the sorted active
-// list. Schedules usually activate in index order, so the append fast path
-// covers almost every round; the general merge handles Explicit schedules
-// that wake a low index after a high one.
-func (e *engine) mergeActive(bucket []int) {
-	if len(bucket) == 0 {
-		return
-	}
-	old := e.activeList
-	if len(old) == 0 || old[len(old)-1] < bucket[0] {
-		e.activeList = append(old, bucket...)
-		return
-	}
-	merged := make([]int, 0, len(old)+len(bucket))
-	i, j := 0, 0
-	for i < len(old) && j < len(bucket) {
-		if old[i] < bucket[j] {
-			merged = append(merged, old[i])
-			i++
-		} else {
-			merged = append(merged, bucket[j])
-			j++
-		}
-	}
-	merged = append(merged, old[i:]...)
-	merged = append(merged, bucket[j:]...)
-	e.activeList = merged
 }
 
 // resolve applies the medium semantics for round r given e.actions for all
@@ -188,7 +151,7 @@ func (e *engine) resolve(r uint64, disrupted *freqset.Set) {
 		e.hasPending[i] = false
 	}
 	e.pendingList = e.pendingList[:0]
-	e.res.Stats.NodeRounds += uint64(len(e.activeList))
+	e.res.Stats.NodeRounds += uint64(len(e.act.Active()))
 
 	if e.cfg.Medium == MediumScan {
 		e.resolveScan(r, disrupted)
@@ -261,44 +224,40 @@ func (e *engine) resolveScan(r uint64, disrupted *freqset.Set) {
 		}
 		f := a.Freq
 		if e.txCount[f] == 1 && !disrupted.Contains(f) {
-			e.queueDelivery(i, f)
+			e.queueDelivery(i, f, e.txFrom[f])
 		}
 	}
 }
 
 // resolveIndexed is the frequency-indexed fast path: one pass over the
-// awake nodes builds per-frequency transmitter buckets and the listener
-// list, then only the frequencies actually touched this round are
-// classified and re-zeroed. Per-round cost is O(active · log active)
-// (the log is the touched-frequency sort that preserves the scan path's
-// ascending Clear order) — independent of F and N.
+// awake nodes feeds the shared resolver (internal/medium) on its
+// complete-graph path, then only the frequencies actually touched this
+// round are classified and re-zeroed. Per-round cost is
+// O(active · log active) (the log is the touched-frequency sort that
+// preserves the scan path's ascending Clear order) — independent of F
+// and N.
 func (e *engine) resolveIndexed(r uint64, disrupted *freqset.Set) {
 	rec := &e.rec
-	e.listeners = e.listeners[:0]
-	for _, i := range e.activeList {
+	med := e.med
+	for _, i := range e.act.Active() {
 		a := e.actions[i]
 		if a.Freq < 1 || a.Freq > e.cfg.F {
 			e.badFreq(i, a.Freq)
 		}
 		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: a.Freq, Transmit: a.Transmit})
 		if a.Transmit {
-			if e.txCount[a.Freq] == 0 {
-				e.touched = append(e.touched, a.Freq)
-			}
-			e.txCount[a.Freq]++
-			e.txFrom[a.Freq] = NodeID(i)
+			med.Transmit(i, a.Freq)
 			e.res.Stats.Transmissions++
 		} else {
-			e.listeners = append(e.listeners, i)
+			med.Listen(i)
 		}
 	}
 
 	// Classify the touched frequencies in ascending order, matching the
 	// scan path's [1..F] sweep bit for bit.
-	sort.Ints(e.touched)
-	for _, f := range e.touched {
+	for _, f := range med.TouchedAscending() {
 		switch {
-		case e.txCount[f] >= 2:
+		case med.Count(f) >= 2:
 			e.res.Stats.Collisions++
 		case disrupted.Contains(f):
 			e.res.Stats.DisruptedLosses++
@@ -313,24 +272,19 @@ func (e *engine) resolveIndexed(r uint64, disrupted *freqset.Set) {
 
 	// Queue deliveries to listeners on clear single-transmitter channels;
 	// listeners were collected in ascending node order.
-	for _, i := range e.listeners {
+	for _, i := range med.Listeners() {
 		f := e.actions[i].Freq
-		if e.txCount[f] == 1 && !disrupted.Contains(f) {
-			e.queueDelivery(i, f)
+		if med.Count(f) == 1 && !disrupted.Contains(f) {
+			e.queueDelivery(i, f, NodeID(med.From(f)))
 		}
 	}
 
-	// Re-zero only what this round dirtied.
-	for _, f := range e.touched {
-		e.txCount[f] = 0
-	}
-	e.touched = e.touched[:0]
+	med.Reset()
 }
 
 // queueDelivery records the successful reception of frequency f's lone
-// transmission by listener i.
-func (e *engine) queueDelivery(i int, f int) {
-	from := e.txFrom[f]
+// transmission (by node from) at listener i.
+func (e *engine) queueDelivery(i int, f int, from NodeID) {
 	e.pending[i] = e.deliverable(from)
 	e.hasPending[i] = true
 	e.pendingList = append(e.pendingList, i)
@@ -361,7 +315,7 @@ func (e *engine) deliverable(from NodeID) msg.Message {
 // Inactive nodes' entries stay the zero Output they were allocated with
 // (nodes never deactivate), so only awake nodes need visiting.
 func (e *engine) recordOutputs(r uint64) {
-	for _, i := range e.activeList {
+	for _, i := range e.act.Active() {
 		out := e.agents[i].Output()
 		e.rec.Outputs[i] = out
 		if out.Synced && e.res.SyncRound[i] == 0 {
@@ -449,7 +403,7 @@ func Run(cfg *Config) (*Result, error) {
 	for r := uint64(1); r <= limit; r++ {
 		e.activateRound(r)
 		disrupted := e.disruptedSet(r)
-		for _, i := range e.activeList {
+		for _, i := range e.act.Active() {
 			e.probeWeight(i)
 			e.actions[i] = e.agents[i].Step(r - e.activation[i] + 1)
 		}

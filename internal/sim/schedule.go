@@ -71,20 +71,6 @@ func RandomWindow(n int, window uint64, seed uint64) Explicit {
 	return Explicit{Rounds: rounds}
 }
 
-// activationBuckets groups node indices by activation round, given the
-// per-node rounds already read from a Schedule. Each bucket lists its nodes
-// in ascending index order, so merging a bucket into a sorted active list
-// preserves the node ordering the medium resolvers depend on. The buckets
-// let the engine activate a round's nodes in O(|bucket|) instead of
-// scanning all N schedule slots.
-func activationBuckets(rounds []uint64) map[uint64][]int {
-	buckets := make(map[uint64][]int)
-	for i, r := range rounds {
-		buckets[r] = append(buckets[r], i)
-	}
-	return buckets
-}
-
 // Burst activates nodes in groups: Groups bursts of GroupSize nodes, the
 // bursts separated by Gap rounds. It models fleets of devices switched on
 // together (a conference room, a pallet of sensors) joining an existing

@@ -5,8 +5,9 @@
 //
 //	wexp                         # run all experiments, text tables to stdout
 //	wexp -run T10a,T10b          # run selected experiments
+//	wexp -run R1,R2,R3           # the rendezvous workload family
 //	wexp -quick                  # smallest grids (seconds, for smoke tests)
-//	wexp -full                   # large grids: N to 16384, F to 128, multihop RGGs to 4096
+//	wexp -full                   # large grids: N to 16384, F to 128, multihop RGGs to 4096, rendezvous to F=128
 //	wexp -trials 50 -seed 7      # more repetitions / different seeds
 //	wexp -parallel 4             # trial-runner worker count (0 = one per CPU)
 //	wexp -format markdown        # markdown tables (EXPERIMENTS.md bodies)
@@ -70,7 +71,7 @@ func run(args []string, stdout *os.File) int {
 		trials   = fs.Int("trials", 0, "trials per sweep point (0 = default)")
 		seed     = fs.Uint64("seed", 0, "seed offset for all experiments")
 		quick    = fs.Bool("quick", false, "smallest grids (smoke test)")
-		full     = fs.Bool("full", false, "large grids: N up to 16384, F up to 128, multihop RGGs up to 4096")
+		full     = fs.Bool("full", false, "large grids: N up to 16384, F up to 128, multihop RGGs up to 4096, rendezvous up to F=128")
 		parallel = fs.Int("parallel", 0, "trial-runner worker goroutines (0 = one per CPU)")
 		format   = fs.String("format", "text", "output format: text, markdown, csv, json")
 		jsonOut  = fs.Bool("json", false, "shorthand for -format json")

@@ -73,6 +73,11 @@ const (
 	ptX6Sim
 	ptX7Sim
 	ptX7Adversary
+	ptR1
+	ptR2Sim
+	ptR2Adversary
+	ptR3Sim
+	ptR3Adversary
 )
 
 // boolBit packs an ablation flag into a point key.

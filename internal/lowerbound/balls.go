@@ -13,9 +13,17 @@ import (
 // constructed by experiment code.
 func NoSingleton(m int, probs []float64, r *rng.Rand) bool {
 	validateDist(probs)
-	counts := make([]int, len(probs))
+	return noSingleton(m, buildCDF(probs), make([]int, len(probs)), r)
+}
+
+// noSingleton is the shared inner loop: throw m balls via the precomputed
+// CDF, reusing the caller's counts buffer.
+func noSingleton(m int, cdf []float64, counts []int, r *rng.Rand) bool {
+	for i := range counts {
+		counts[i] = 0
+	}
 	for b := 0; b < m; b++ {
-		counts[sampleDist(probs, r)]++
+		counts[sampleCDF(cdf, r)]++
 	}
 	for _, c := range counts {
 		if c == 1 {
@@ -38,25 +46,53 @@ func validateDist(probs []float64) {
 	}
 }
 
-func sampleDist(probs []float64, r *rng.Rand) int {
-	x := r.Float64()
+// buildCDF returns the running partial sums of probs. The sums accumulate
+// left to right — the exact float additions the historical per-ball linear
+// scan performed — so sampleCDF draws are bit-identical to the scan's.
+func buildCDF(probs []float64) []float64 {
+	cdf := make([]float64, len(probs))
 	acc := 0.0
 	for i, p := range probs {
 		acc += p
-		if x < acc {
-			return i
+		cdf[i] = acc
+	}
+	return cdf
+}
+
+// sampleCDF draws a bin: the smallest i with x < cdf[i], falling back to
+// the last bin when rounding leaves x beyond the final partial sum. The
+// binary search is exact because probs are non-negative, so cdf is
+// non-decreasing; it replaces the per-ball linear scan that dominated
+// EstimateNoSingleton.
+func sampleCDF(cdf []float64, r *rng.Rand) int {
+	x := r.Float64()
+	lo, hi := 0, len(cdf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cdf[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return len(probs) - 1
+	if lo == len(cdf) {
+		lo = len(cdf) - 1
+	}
+	return lo
 }
 
 // EstimateNoSingleton estimates P[no bin receives exactly one ball] over
-// the given number of trials.
+// the given number of trials. The CDF and the counts buffer are built once
+// and shared across trials — this is the inner loop of the Lemma 2
+// experiments.
 func EstimateNoSingleton(m int, probs []float64, trials int, seed uint64) float64 {
+	validateDist(probs)
+	cdf := buildCDF(probs)
+	counts := make([]int, len(probs))
 	r := rng.New(seed)
 	hit := 0
 	for i := 0; i < trials; i++ {
-		if NoSingleton(m, probs, r) {
+		if noSingleton(m, cdf, counts, r) {
 			hit++
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"wsync/internal/adversary"
 	"wsync/internal/pool"
+	"wsync/internal/rendezvous"
 	"wsync/internal/rng"
 	"wsync/internal/sim"
 )
@@ -58,7 +59,38 @@ type TwoNodeResult struct {
 // that each round disrupts the t frequencies with the largest product
 // p_j·q_j of the nodes' selection probabilities — the strategy from the
 // Theorem 4 proof. The game ends at the first rendezvous.
+//
+// Since the rendezvous engine landed, TwoNodeGame is a two-party instance
+// of rendezvous.Run with the Greedy product jammer; TwoNodeGameScan keeps
+// the original private loop as the differential oracle. Both produce
+// bit-identical meeting rounds (TestTwoNodeGameMatchesScan).
 func TwoNodeGame(u, v Regular, f, t int, offset uint64, maxRounds uint64, seed uint64) TwoNodeResult {
+	if maxRounds == 0 {
+		return TwoNodeResult{}
+	}
+	res, err := rendezvous.Run(&rendezvous.Config{
+		F: f,
+		Parties: []rendezvous.Party{
+			{Strategy: StrategyFromRegular(u), Head: offset},
+			{Strategy: StrategyFromRegular(v)},
+		},
+		Jammer:    rendezvous.NewGreedy(f, t),
+		MaxRounds: maxRounds,
+		Seed:      seed,
+	})
+	if err != nil {
+		// The wrapper constructs a valid config for every input the scan
+		// loop accepted; a failure here is a programming error.
+		panic(fmt.Sprintf("lowerbound: two-node game: %v", err))
+	}
+	return TwoNodeResult{Rounds: res.FirstMeet, Met: res.FirstMeet != 0}
+}
+
+// TwoNodeGameScan is the pre-engine implementation of TwoNodeGame, kept as
+// the differential oracle for the shared rendezvous engine (the same role
+// sim.MediumScan plays for the frequency-indexed medium). It must stay
+// bit-identical to TwoNodeGame.
+func TwoNodeGameScan(u, v Regular, f, t int, offset uint64, maxRounds uint64, seed uint64) TwoNodeResult {
 	r := rng.New(seed)
 	ru := r.Split(1)
 	rv := r.Split(2)

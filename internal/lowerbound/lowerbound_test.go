@@ -153,6 +153,145 @@ func TestQuickLemma2(t *testing.T) {
 	}
 }
 
+// TestTwoNodeGameMatchesScan is the differential contract behind the
+// engine-backed TwoNodeGame: across schedules, offsets, budgets, and
+// seeds, the rendezvous engine and the pre-engine scan loop report
+// bit-identical results.
+func TestTwoNodeGameMatchesScan(t *testing.T) {
+	p := trapdoor.Params{N: 16, F: 8, T: 2}
+	regs := []struct {
+		name string
+		u, v Regular
+	}{
+		{"uniform-4", UniformRegular{M: 4, P: 0.5}, UniformRegular{M: 4, P: 0.5}},
+		{"uniform-asym", UniformRegular{M: 4, P: 0.5}, UniformRegular{M: 8, P: 0.25}},
+		{"trapdoor", NewTrapdoorRegular(p), NewTrapdoorRegular(p)},
+		{"unknown-t", UnknownT{F: 8, Dwell: 8}, UnknownT{F: 8, Dwell: 8}},
+	}
+	seeds := 25
+	if testing.Short() {
+		seeds = 6
+	}
+	// A modest round budget keeps the sweep fast; the never-met cells
+	// (width <= t) exercise the truncation path on both implementations.
+	for _, rc := range regs {
+		for _, tJam := range []int{0, 2, 5} {
+			for _, offset := range []uint64{0, 9} {
+				for seed := uint64(0); seed < uint64(seeds); seed++ {
+					got := TwoNodeGame(rc.u, rc.v, 8, tJam, offset, 1<<12, seed)
+					want := TwoNodeGameScan(rc.u, rc.v, 8, tJam, offset, 1<<12, seed)
+					if got != want {
+						t.Fatalf("%s t=%d offset=%d seed=%d: engine %+v, scan %+v",
+							rc.name, tJam, offset, seed, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTwoNodeGameEdges covers the parameter extremes that previously had
+// no direct coverage; the engine and the scan oracle must agree on every
+// one of them.
+func TestTwoNodeGameEdges(t *testing.T) {
+	cases := []struct {
+		name      string
+		reg       UniformRegular
+		f, t      int
+		offset    uint64
+		maxRounds uint64
+		wantMet   bool
+	}{
+		// Offset at and beyond the budget: the game still plays maxRounds
+		// rounds, only the local clocks are shifted.
+		{"offset == maxRounds", UniformRegular{M: 4, P: 0.5}, 4, 0, 1 << 12, 1 << 12, true},
+		{"offset >> maxRounds", UniformRegular{M: 4, P: 0.5}, 4, 0, 1 << 40, 1 << 12, true},
+		// No jamming: rendezvous on the open band.
+		{"t = 0", UniformRegular{M: 8, P: 0.5}, 8, 0, 0, 1 << 12, true},
+		// One channel, no budget: meet as soon as the roles differ.
+		{"f = 1 open", UniformRegular{M: 1, P: 0.5}, 1, 0, 0, 1 << 12, true},
+		// One channel, fully jammed: never.
+		{"f = 1 jammed", UniformRegular{M: 1, P: 0.5}, 1, 1, 0, 1 << 10, false},
+		// Zero budget of rounds: nothing happens.
+		{"maxRounds = 0", UniformRegular{M: 4, P: 0.5}, 4, 1, 0, 0, false},
+	}
+	for _, c := range cases {
+		for seed := uint64(0); seed < 5; seed++ {
+			got := TwoNodeGame(c.reg, c.reg, c.f, c.t, c.offset, c.maxRounds, seed)
+			want := TwoNodeGameScan(c.reg, c.reg, c.f, c.t, c.offset, c.maxRounds, seed)
+			if got != want {
+				t.Fatalf("%s seed %d: engine %+v, scan %+v", c.name, seed, got, want)
+			}
+			if got.Met != c.wantMet {
+				t.Fatalf("%s seed %d: Met = %v, want %v (%+v)", c.name, seed, got.Met, c.wantMet, got)
+			}
+			if got.Met && got.Rounds > c.maxRounds {
+				t.Fatalf("%s: met after the budget: %+v", c.name, got)
+			}
+		}
+	}
+}
+
+// sampleDistScan is the retired per-ball linear scan, kept as the oracle
+// for the CDF sampler.
+func sampleDistScan(probs []float64, r *rng.Rand) int {
+	x := r.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// TestSampleCDFMatchesScan pins the bit-identical replacement of the
+// linear scan: same distribution, same stream, same draws.
+func TestSampleCDFMatchesScan(t *testing.T) {
+	dists := [][]float64{
+		{1},
+		{0.5, 0.5},
+		{0.25, 0.25, 0.5},
+		Lemma2Distribution(4, 0.6, 0.5),
+		Lemma2Distribution(7, 0.5, 1),
+		// Slightly deficient sum (within validateDist tolerance): the tail
+		// fallback must agree too.
+		{0.4995, 0.4995},
+	}
+	for di, probs := range dists {
+		cdf := buildCDF(probs)
+		ra, rb := rng.New(uint64(di)+1), rng.New(uint64(di)+1)
+		for i := 0; i < 20000; i++ {
+			got := sampleCDF(cdf, ra)
+			want := sampleDistScan(probs, rb)
+			if got != want {
+				t.Fatalf("dist %d draw %d: cdf %d, scan %d", di, i, got, want)
+			}
+		}
+	}
+}
+
+// TestEstimateNoSingletonUnchanged re-runs the estimate through the old
+// NoSingleton-per-trial path and requires exact equality — the CDF hoist
+// must not move a single draw.
+func TestEstimateNoSingletonUnchanged(t *testing.T) {
+	probs := Lemma2Distribution(3, 0.6, 0.5)
+	const trials, seed = 3000, 42
+	got := EstimateNoSingleton(16, probs, trials, seed)
+	r := rng.New(seed)
+	hit := 0
+	for i := 0; i < trials; i++ {
+		if NoSingleton(16, probs, r) {
+			hit++
+		}
+	}
+	want := float64(hit) / float64(trials)
+	if got != want {
+		t.Fatalf("EstimateNoSingleton = %v, per-trial path = %v", got, want)
+	}
+}
+
 func TestUniformRegular(t *testing.T) {
 	u := UniformRegular{M: 4, P: 0.25}
 	if u.Dist(1).Max() != 4 || u.TxProb(99) != 0.25 {

@@ -3,6 +3,7 @@ package lowerbound
 import (
 	"wsync/internal/freqdist"
 	"wsync/internal/msg"
+	"wsync/internal/rendezvous"
 	"wsync/internal/rng"
 	"wsync/internal/sim"
 	"wsync/internal/trapdoor"
@@ -108,6 +109,34 @@ func (u UnknownT) Dist(local uint64) freqdist.Dist {
 
 // TxProb returns 1/2 (the two-node game's optimum).
 func (u UnknownT) TxProb(uint64) float64 { return 0.5 }
+
+// regularStrategy adapts a Regular schedule to the rendezvous engine: the
+// channel draw comes first and the transmit coin second, the same stream
+// order the two-node scan loop used, so engine games are bit-compatible
+// with their pre-engine counterparts.
+type regularStrategy struct {
+	reg Regular
+}
+
+var _ rendezvous.Profiled = regularStrategy{}
+
+// StrategyFromRegular wraps a Regular schedule as a rendezvous strategy.
+// The result is Profiled (product jammers can inspect it) and stateless,
+// so one value may serve several parties.
+func StrategyFromRegular(reg Regular) rendezvous.Profiled {
+	return regularStrategy{reg: reg}
+}
+
+// Pick samples the schedule's distribution, then the broadcast coin.
+func (s regularStrategy) Pick(local uint64, r *rng.Rand) (int, bool) {
+	f := s.reg.Dist(local).Sample(r)
+	return f, r.Bernoulli(s.reg.TxProb(local))
+}
+
+// Prob returns the schedule's per-round channel probability.
+func (s regularStrategy) Prob(local uint64, f int) float64 {
+	return s.reg.Dist(local).Prob(f)
+}
 
 // Agent adapts a Regular schedule to sim.Agent: it follows the schedule
 // forever, never reacts to deliveries, and never outputs. The Theorem 1

@@ -1,0 +1,197 @@
+package medium
+
+import (
+	"testing"
+)
+
+// FuzzResolverReceive drives the resolver through fuzz-chosen topologies
+// and multi-round transmit/listen/reset sequences and checks every
+// listener × frequency reception against a naive per-receiver scan oracle.
+// It is the resolver's differential anchor: both intersection strategies
+// (neighbor-walk and bucket-walk), the complete-graph fast path, and the
+// touched-only Reset bookkeeping must agree with the oracle on every
+// input.
+//
+// Input layout (all quantities reduced modulo their range, so every byte
+// string is valid):
+//
+//	byte 0       node count n in [1..8]
+//	byte 1       frequency count F in [1..8]
+//	byte 2       graph mode: even = complete graph (nil Graph), odd = the
+//	             adjacency bits that follow
+//	adjacency    n(n−1)/2 bits for the i<j pairs, graph mode only
+//	rounds       n bytes per round, one per node:
+//	             0 = asleep, 1 = listen, else transmit on 1+(b−2)%F
+//
+// Each decoded round registers actions in ascending node order (the
+// resolver's contract), checks receptions, then Resets — so later rounds
+// also verify that Reset cleared exactly the dirtied state.
+func FuzzResolverReceive(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 4, 0, 1, 2, 3, 0, 7})
+	f.Add([]byte{3, 2, 1, 0b011, 2, 1, 1})
+	f.Add(fuzzSeedStar())
+	f.Add(fuzzSeedCollisions())
+	f.Add(fuzzSeedMultiRound())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := 1 + int(data[0]%8)
+		freqs := 1 + int(data[1]%8)
+		graphMode := data[2]%2 == 1
+		data = data[3:]
+
+		var g Graph
+		var adj [][]int
+		if graphMode {
+			adj = make([][]int, n)
+			bit := 0
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					var b byte
+					if bit/8 < len(data) {
+						b = data[bit/8]
+					}
+					if b>>(uint(bit)%8)&1 == 1 {
+						adj[i] = append(adj[i], j)
+						adj[j] = append(adj[j], i)
+					}
+					bit++
+				}
+			}
+			consumed := (bit + 7) / 8
+			if consumed > len(data) {
+				consumed = len(data)
+			}
+			data = data[consumed:]
+			g = &testGraph{adj: adj}
+		}
+
+		r := NewResolver(freqs, n, g)
+		listen := make([]bool, n)
+		txOn := make([]int, n) // 0 = not transmitting
+		for len(data) >= n {
+			round := data[:n]
+			data = data[n:]
+			for i := 0; i < n; i++ {
+				listen[i], txOn[i] = false, 0
+				switch {
+				case round[i] == 0:
+				case round[i] == 1:
+					listen[i] = true
+					r.Listen(i)
+				default:
+					txOn[i] = 1 + int(round[i]-2)%freqs
+					r.Transmit(i, txOn[i])
+				}
+			}
+
+			// TouchedAscending must list exactly the transmitted-on
+			// frequencies, ascending.
+			touched := r.TouchedAscending()
+			seen := make(map[int]bool)
+			for _, q := range touched {
+				seen[q] = true
+			}
+			for i, q := range touched {
+				if i > 0 && touched[i-1] >= q {
+					t.Fatalf("touched not strictly ascending: %v", touched)
+				}
+			}
+			for q := 1; q <= freqs; q++ {
+				want := 0
+				for i := 0; i < n; i++ {
+					if txOn[i] == q {
+						want++
+					}
+				}
+				if seen[q] != (want > 0) {
+					t.Fatalf("touched/%d mismatch: touched=%v want count %d", q, touched, want)
+				}
+				if got := r.Count(q); got != want {
+					t.Fatalf("Count(%d) = %d, oracle %d", q, got, want)
+				}
+			}
+
+			// Every listener × every frequency against the scan oracle.
+			for u := 0; u < n; u++ {
+				if !listen[u] {
+					continue
+				}
+				for q := 1; q <= freqs; q++ {
+					gotFrom, gotCount := r.Receive(u, q)
+					wantFrom, wantCount := oracleReceive(u, q, n, adj, graphMode, txOn)
+					if gotCount != wantCount {
+						t.Fatalf("Receive(%d,%d) count = %d, oracle %d (n=%d F=%d graph=%v tx=%v adj=%v)",
+							u, q, gotCount, wantCount, n, freqs, graphMode, txOn, adj)
+					}
+					if wantCount == 1 && gotFrom != wantFrom {
+						t.Fatalf("Receive(%d,%d) from = %d, oracle %d (tx=%v adj=%v)",
+							u, q, gotFrom, wantFrom, txOn, adj)
+					}
+				}
+			}
+			r.Reset()
+		}
+	})
+}
+
+// oracleReceive is the naive per-receiver scan: walk every node, count the
+// ones transmitting on q that u can hear (everyone in complete-graph mode,
+// adjacency otherwise), saturating at 2; from is the unique transmitter
+// when the count is 1.
+func oracleReceive(u, q, n int, adj [][]int, graphMode bool, txOn []int) (from, count int) {
+	from = -1
+	hears := func(w int) bool {
+		if !graphMode {
+			return true
+		}
+		for _, x := range adj[u] {
+			if x == w {
+				return true
+			}
+		}
+		return false
+	}
+	for w := 0; w < n; w++ {
+		if txOn[w] != q || !hears(w) {
+			continue
+		}
+		from = w
+		if count++; count >= 2 {
+			return from, 2
+		}
+	}
+	return from, count
+}
+
+// fuzzSeedStar encodes a star graph (hub 0 of 1..4) with leaf and
+// detached transmissions — the bucket-walk vs neighbor-walk split.
+func fuzzSeedStar() []byte {
+	// n=5, F=3, graph mode; adjacency bits for pairs (0,1)(0,2)(0,3)(0,4)
+	// (1,2)(1,3)(1,4)(2,3)(2,4)(3,4): star = first four bits set.
+	return []byte{5, 3, 1, 0b00001111, 0b00,
+		1, 2, 2, 1, 0, // hub listens, leaves 1-2 transmit on F=1, leaf 3 listens
+		1, 1, 1, 1, 1, // everyone listens (silence)
+	}
+}
+
+// fuzzSeedCollisions encodes a complete-graph round with a three-way
+// collision and a clean singleton on another frequency.
+func fuzzSeedCollisions() []byte {
+	return []byte{4, 4, 0,
+		2, 2, 2, 1, // nodes 0-2 collide on frequency 1, node 3 listens
+		3, 1, 1, 1, // node 0 alone on frequency 2, the rest listen
+	}
+}
+
+// fuzzSeedMultiRound exercises Reset: a busy round followed by a sparse
+// one on different frequencies.
+func fuzzSeedMultiRound() []byte {
+	return []byte{6, 5, 1, 0b10110101, 0b1101010,
+		2, 3, 4, 5, 6, 1,
+		1, 1, 0, 0, 2, 1,
+		6, 1, 6, 1, 6, 1,
+	}
+}

@@ -59,6 +59,88 @@ func TestActivationWakeOutOfOrder(t *testing.T) {
 	}
 }
 
+// TestActivationEdgeCases covers the wake-bookkeeping paths that had no
+// direct coverage: duplicate wake rounds, everyone awake at round zero, a
+// single node, and Wake probes past Max.
+func TestActivationEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		rounds  []uint64
+		wake    []uint64 // Wake calls, in order
+		buckets []int    // expected bucket size per Wake call
+		active  []int
+		max     uint64
+	}{
+		{
+			name:    "duplicate wake rounds",
+			rounds:  []uint64{2, 2, 2},
+			wake:    []uint64{1, 2},
+			buckets: []int{0, 3}, // one shared bucket wakes all three
+			active:  []int{0, 1, 2},
+			max:     2,
+		},
+		{
+			name:    "all awake at zero",
+			rounds:  []uint64{0, 0, 0, 0},
+			wake:    []uint64{0},
+			buckets: []int{4},
+			active:  []int{0, 1, 2, 3},
+			max:     0,
+		},
+		{
+			name:    "single node",
+			rounds:  []uint64{7},
+			wake:    []uint64{6, 7},
+			buckets: []int{0, 1},
+			active:  []int{0},
+			max:     7,
+		},
+		{
+			name:    "wake past max",
+			rounds:  []uint64{1, 3},
+			wake:    []uint64{1, 3, 4, 1 << 40},
+			buckets: []int{1, 1, 0, 0},
+			active:  []int{0, 1},
+			max:     3,
+		},
+		{
+			name:    "no wake calls",
+			rounds:  []uint64{5, 6},
+			wake:    nil,
+			buckets: nil,
+			active:  nil,
+			max:     6,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := NewActivation(c.rounds)
+			if a.Max() != c.max {
+				t.Fatalf("Max = %d, want %d", a.Max(), c.max)
+			}
+			for i, r := range c.wake {
+				if got := len(a.Wake(r)); got != c.buckets[i] {
+					t.Fatalf("Wake(%d) bucket size = %d, want %d", r, got, c.buckets[i])
+				}
+			}
+			got := a.Active()
+			if len(got) != len(c.active) {
+				t.Fatalf("active = %v, want %v", got, c.active)
+			}
+			for i := range c.active {
+				if got[i] != c.active[i] {
+					t.Fatalf("active = %v, want %v", got, c.active)
+				}
+			}
+			for i, r := range c.rounds {
+				if a.Round(i) != r {
+					t.Fatalf("Round(%d) = %d, want %d", i, a.Round(i), r)
+				}
+			}
+		})
+	}
+}
+
 // TestResolverCompleteGraph checks the single-hop (nil graph) path:
 // Receive answers from the global per-frequency counters.
 func TestResolverCompleteGraph(t *testing.T) {

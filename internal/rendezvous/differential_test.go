@@ -1,0 +1,80 @@
+package rendezvous_test
+
+import (
+	"testing"
+
+	"wsync/internal/lowerbound"
+	"wsync/internal/rendezvous"
+)
+
+// TestRendezvousMatchesTwoNodeGame is the engine's differential anchor:
+// two parties with uniform regular strategies against a static prefix
+// jammer must reproduce the historical two-node scan loop's meeting rounds
+// bit for bit across seeds. The prefix jammer stands in for the greedy
+// product jammer because equal-width uniform strategies tie every product
+// and greedy breaks ties toward low channels — TestGreedyMatchesPrefixOnUniform
+// pins that identity inside the package.
+func TestRendezvousMatchesTwoNodeGame(t *testing.T) {
+	cases := []struct {
+		f, t, width int
+		offset      uint64
+	}{
+		{4, 1, 2, 0},
+		{8, 2, 4, 0},
+		{8, 2, 4, 17},
+		{8, 5, 8, 0},
+		{16, 3, 6, 1000},
+		{16, 0, 1, 0},
+	}
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for _, c := range cases {
+		for seed := uint64(0); seed < uint64(seeds); seed++ {
+			res, err := rendezvous.Run(&rendezvous.Config{
+				F: c.f,
+				Parties: []rendezvous.Party{
+					{Strategy: rendezvous.Uniform{M: c.width, P: 0.5}, Head: c.offset},
+					{Strategy: rendezvous.Uniform{M: c.width, P: 0.5}},
+				},
+				Jammer:    rendezvous.NewPrefix(c.f, c.t),
+				MaxRounds: 1 << 16,
+				Seed:      seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := lowerbound.UniformRegular{M: c.width, P: 0.5}
+			want := lowerbound.TwoNodeGameScan(reg, reg, c.f, c.t, c.offset, 1<<16, seed)
+			got := lowerbound.TwoNodeResult{Rounds: res.FirstMeet, Met: res.FirstMeet != 0}
+			if got != want {
+				t.Fatalf("F=%d t=%d width=%d offset=%d seed=%d: engine %+v, scan oracle %+v",
+					c.f, c.t, c.width, c.offset, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestRegularStrategyGallery runs the engine with every Regular schedule
+// adapted through StrategyFromRegular against the greedy jammer and checks
+// it against the scan oracle — the full TwoNodeGame replacement contract,
+// not just the uniform special case.
+func TestRegularStrategyGallery(t *testing.T) {
+	regs := []struct {
+		name string
+		reg  lowerbound.Regular
+	}{
+		{"uniform", lowerbound.UniformRegular{M: 4, P: 0.5}},
+		{"unknown-t", lowerbound.UnknownT{F: 8, Dwell: 4}},
+	}
+	for _, rc := range regs {
+		for seed := uint64(0); seed < 25; seed++ {
+			got := lowerbound.TwoNodeGame(rc.reg, rc.reg, 8, 2, 3, 1<<16, seed)
+			want := lowerbound.TwoNodeGameScan(rc.reg, rc.reg, 8, 2, 3, 1<<16, seed)
+			if got != want {
+				t.Fatalf("%s seed %d: engine %+v, scan %+v", rc.name, seed, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package rendezvous
+
+import (
+	"fmt"
+
+	"wsync/internal/freqset"
+	"wsync/internal/medium"
+	"wsync/internal/rng"
+)
+
+// Party configures one participant of the game.
+type Party struct {
+	// Strategy decides the party's per-round behavior. Stateful strategies
+	// must not be shared between parties.
+	Strategy Strategy
+	// Wake is the global round the party enters the game; 0 and 1 both
+	// mean it plays from round 1.
+	Wake uint64
+	// Head offsets the party's local clock: the number of rounds it had
+	// already been playing elsewhere when the game starts (Theorem 4's
+	// activation offset). Local round at global round g is
+	// Head + (g − Wake + 1).
+	Head uint64
+	// Mask statically blocks channels for this party alone: a reception by
+	// this party on a masked channel is jammed, while other parties'
+	// receptions are untouched. Expressed as per-party graph adjacency to
+	// mask nodes, not as engine special cases.
+	Mask []int
+}
+
+// Config configures a rendezvous game.
+type Config struct {
+	// F is the band size (channels 1..F).
+	F int
+	// Parties lists the k >= 2 participants.
+	Parties []Party
+	// Jammer blocks channels globally each round; nil means none.
+	Jammer Jammer
+	// MaxRounds bounds the game length.
+	MaxRounds uint64
+	// Seed drives all party randomness; party p's stream is
+	// rng.New(Seed).Split(p+1), matching the historical two-node game.
+	Seed uint64
+}
+
+// Result reports one game.
+type Result struct {
+	// FirstMeet is the global round of the first meeting — a clean
+	// reception of one party's transmission by another party — or 0 if
+	// none happened within MaxRounds.
+	FirstMeet uint64
+	// AllMet is the global round at which the meeting graph first
+	// connected all k parties (pairwise meetings merge components), or 0.
+	// For k = 2 it equals FirstMeet.
+	AllMet uint64
+	// Meetings counts every clean pairwise reception, including repeats.
+	Meetings uint64
+	// Rounds is the number of rounds simulated (the game stops at AllMet).
+	Rounds uint64
+	// NodeRounds counts awake party-rounds, the engine's throughput unit.
+	NodeRounds uint64
+}
+
+// gameGraph is the medium.Graph the engine resolves receptions against:
+// parties are mutually adjacent, each mask node neighbors only its party,
+// and each global jam node neighbors every party.
+type gameGraph struct {
+	adj [][]int
+}
+
+func (g *gameGraph) N() int                { return len(g.adj) }
+func (g *gameGraph) Neighbors(i int) []int { return g.adj[i] }
+
+// Run plays the game. The k parties occupy node indices 0..k−1 of the
+// medium; blocked channels materialize as transmissions by virtual nodes
+// above k (per-party mask nodes first, then one global jam node per
+// channel), so the resolver's ordinary neighborhood intersection — not
+// engine special cases — decides what is jammed for whom.
+func Run(cfg *Config) (*Result, error) {
+	k := len(cfg.Parties)
+	if cfg.F < 1 {
+		return nil, fmt.Errorf("rendezvous: F = %d, need >= 1", cfg.F)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("rendezvous: %d parties, need >= 2", k)
+	}
+	if cfg.MaxRounds < 1 {
+		return nil, fmt.Errorf("rendezvous: MaxRounds = %d, need >= 1", cfg.MaxRounds)
+	}
+	for p, pt := range cfg.Parties {
+		if pt.Strategy == nil {
+			return nil, fmt.Errorf("rendezvous: party %d has no strategy", p)
+		}
+		for _, f := range pt.Mask {
+			if f < 1 || f > cfg.F {
+				return nil, fmt.Errorf("rendezvous: party %d masks channel %d outside [1..%d]", p, f, cfg.F)
+			}
+		}
+	}
+
+	// Node layout: parties, then mask nodes, then jam nodes.
+	type maskNode struct{ owner, freq int }
+	var masks []maskNode
+	for p, pt := range cfg.Parties {
+		for _, f := range pt.Mask {
+			masks = append(masks, maskNode{p, f})
+		}
+	}
+	maskBase := k
+	jamBase := maskBase + len(masks)
+	jamNodes := 0
+	if cfg.Jammer != nil {
+		jamNodes = cfg.F // one virtual transmitter per blockable channel
+	}
+	adj := make([][]int, jamBase+jamNodes)
+	for p := 0; p < k; p++ {
+		for q := 0; q < k; q++ {
+			if q != p {
+				adj[p] = append(adj[p], q)
+			}
+		}
+		for m, mn := range masks {
+			if mn.owner == p {
+				adj[p] = append(adj[p], maskBase+m)
+			}
+		}
+		for j := 0; j < jamNodes; j++ {
+			adj[p] = append(adj[p], jamBase+j)
+		}
+	}
+	for m, mn := range masks {
+		adj[maskBase+m] = []int{mn.owner}
+	}
+	if jamNodes > 0 {
+		// Every jam node neighbors exactly the parties; share one slice.
+		parties := make([]int, k)
+		for p := range parties {
+			parties[p] = p
+		}
+		for j := 0; j < jamNodes; j++ {
+			adj[jamBase+j] = parties
+		}
+	}
+	res := medium.NewResolver(cfg.F, len(adj), &gameGraph{adj: adj})
+
+	wakes := make([]uint64, k)
+	strategies := make([]Strategy, k)
+	rands := make([]*rng.Rand, k)
+	root := rng.New(cfg.Seed)
+	for p, pt := range cfg.Parties {
+		wakes[p] = pt.Wake
+		if wakes[p] == 0 {
+			wakes[p] = 1
+		}
+		strategies[p] = pt.Strategy
+		rands[p] = root.Split(uint64(p) + 1)
+	}
+	act := medium.NewActivation(wakes)
+
+	// Union-find over parties; the game ends when one component remains.
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := k
+
+	rd := &Round{F: cfg.F, Locals: make([]uint64, k), Strategies: strategies}
+	cur := make([]Action, k)
+	prev := make([]Action, k)
+	out := &Result{}
+	for g := uint64(1); g <= cfg.MaxRounds; g++ {
+		act.Wake(g)
+		rd.Global = g
+		for p := 0; p < k; p++ {
+			if wakes[p] <= g {
+				rd.Locals[p] = cfg.Parties[p].Head + (g - wakes[p] + 1)
+			} else {
+				rd.Locals[p] = 0
+			}
+		}
+		var blocked *freqset.Set
+		if cfg.Jammer != nil {
+			blocked = cfg.Jammer.Block(rd)
+		}
+
+		// Parties register in ascending index order (the active list is
+		// sorted), then mask nodes, then jam nodes — every frequency
+		// bucket is born sorted, as the resolver requires.
+		for _, p := range act.Active() {
+			f, tx := strategies[p].Pick(rd.Locals[p], rands[p])
+			if f < 1 || f > cfg.F {
+				return nil, fmt.Errorf("rendezvous: party %d picked channel %d outside [1..%d] in round %d", p, f, cfg.F, g)
+			}
+			cur[p] = Action{Freq: f, Transmit: tx}
+			if tx {
+				res.Transmit(p, f)
+			} else {
+				res.Listen(p)
+			}
+			out.NodeRounds++
+		}
+		for m, mn := range masks {
+			res.Transmit(maskBase+m, mn.freq)
+		}
+		if blocked != nil {
+			j := jamBase
+			for f := 1; f <= cfg.F; f++ {
+				if blocked.Contains(f) {
+					res.Transmit(j, f)
+					j++
+				}
+			}
+		}
+
+		for _, v := range res.Listeners() {
+			from, count := res.Receive(v, cur[v].Freq)
+			if count != 1 || from >= k {
+				continue // silence, collision, or a bare jam carrier
+			}
+			out.Meetings++
+			if out.FirstMeet == 0 {
+				out.FirstMeet = g
+			}
+			if rv, rf := find(v), find(from); rv != rf {
+				parent[rv] = rf
+				if comps--; comps == 1 {
+					out.AllMet = g
+				}
+			}
+		}
+		res.Reset()
+		out.Rounds = g
+		if out.AllMet != 0 {
+			break
+		}
+		copy(prev, cur)
+		rd.Last = prev
+	}
+	return out, nil
+}

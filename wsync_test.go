@@ -265,3 +265,48 @@ type silentAgent struct{}
 func (a *silentAgent) Step(local uint64) Action { return Action{Freq: 2} }
 func (a *silentAgent) Deliver(Message)          {}
 func (a *silentAgent) Output() Output           { return Output{} }
+
+func TestRunRendezvousDefaults(t *testing.T) {
+	res, err := RunRendezvous(RendezvousConfig{T: 2, Jammer: "random", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstMeet == 0 || res.AllMet == 0 {
+		t.Fatalf("two parties never met: %+v", res)
+	}
+	if res.FirstMeet != res.AllMet {
+		t.Fatalf("two-party meet mismatch: %+v", res)
+	}
+}
+
+func TestRunRendezvousKPartyMasked(t *testing.T) {
+	// T=3 means the parties spread over width min(16, 6) = 6, so the
+	// masks must hit 1..6 to actually jam any reception.
+	res, err := RunRendezvous(RendezvousConfig{
+		Parties: 4,
+		F:       16,
+		T:       3,
+		Jammer:  "greedy",
+		Masks:   [][]int{{1, 2}, nil, {3}},
+		Stagger: 2,
+		Seed:    11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllMet == 0 {
+		t.Fatalf("4 parties never all met: %+v", res)
+	}
+}
+
+func TestRunRendezvousErrors(t *testing.T) {
+	if _, err := RunRendezvous(RendezvousConfig{F: 4, Width: 8}); err == nil {
+		t.Fatal("width > F accepted")
+	}
+	if _, err := RunRendezvous(RendezvousConfig{Jammer: "nope", T: 1}); err == nil {
+		t.Fatal("unknown jammer accepted")
+	}
+	if _, err := RunRendezvous(RendezvousConfig{Parties: 2, Masks: [][]int{{1}, {1}, {1}}}); err == nil {
+		t.Fatal("more masks than parties accepted")
+	}
+}

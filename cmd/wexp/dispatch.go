@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"wsync/internal/shard"
+)
+
+// runDispatch is the local dispatcher behind `wexp -dispatch K`: it forks
+// K shard subprocesses of this same binary (`-shards K -shard-index i`
+// for i in [0, K)), collects their wsync-bench/v1 artifacts from a temp
+// directory, merges them, and writes the merged report to stdout. It is
+// the single-machine proof of the distributed path: the subprocesses
+// share nothing but flags, exactly like workers on K machines, and the
+// merged output is byte-identical (modulo the volatile wall-time and
+// parallelism fields) to an unsharded run.
+func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
+		return 1
+	}
+	dir, err := os.MkdirTemp("", "wexp-dispatch-")
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	// Create every output file before spawning anything: once a child is
+	// running, the only exits below are through wg.Wait(), so no error
+	// path can abandon a live subprocess.
+	paths := make([]string, k)
+	files := make([]*os.File, k)
+	for i := 0; i < k; i++ {
+		paths[i] = filepath.Join(dir, "shard_"+strconv.Itoa(i)+".json")
+		f, err := os.Create(paths[i])
+		if err != nil {
+			for _, open := range files[:i] {
+				open.Close()
+			}
+			fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
+			return 1
+		}
+		files[i] = f
+	}
+
+	// Children run concurrently — each is an independent worker; their
+	// stderr streams interleave through one locked writer.
+	childErr := &lockedWriter{w: stderr}
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		args := append(append([]string{}, childArgs...),
+			"-shards", strconv.Itoa(k), "-shard-index", strconv.Itoa(i), "-json")
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = files[i]
+		cmd.Stderr = childErr
+		// The variable lets the test binary reroute itself into run();
+		// the real wexp binary ignores it.
+		cmd.Env = append(os.Environ(), "WEXP_DISPATCH_CHILD=1")
+		wg.Add(1)
+		go func(i int, cmd *exec.Cmd, f *os.File) {
+			defer wg.Done()
+			err := cmd.Run()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			errs[i] = err
+		}(i, cmd, files[i])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(stderr, "wexp: -dispatch: shard %d: %v\n", i, err)
+			return 1
+		}
+	}
+
+	reps := make([]*shard.Report, k)
+	for i, p := range paths {
+		r, err := shard.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "wexp: -dispatch: shard %d: %v\n", i, err)
+			return 1
+		}
+		reps[i] = r
+	}
+	merged, err := shard.Merge(reps)
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
+		return 1
+	}
+	if err := merged.Encode(stdout); err != nil {
+		fmt.Fprintf(stderr, "wexp: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// lockedWriter serializes concurrent writes from the shard subprocesses'
+// stderr pipes onto one underlying writer.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

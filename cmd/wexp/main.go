@@ -15,83 +15,110 @@
 //	wexp -json                   # one machine-readable report on stdout
 //	wexp -list                   # list experiment ids and exit
 //
+// Sharded sweeps (docs/BENCH_FORMAT.md, "Sharding") split the selection
+// across workers at experiment granularity and merge the artifacts back
+// into the report an unsharded run would have produced:
+//
+//	wexp -shards 3 -shard-index 1 -json     # run the second of three partitions
+//	wexp -shards 3 -shard-index 1 -plan-costs prior.json
+//	                                        # balance the partition by a prior run's wall times
+//	wexp merge -out all.json s0.json s1.json s2.json
+//	                                        # union shard artifacts (envelopes must agree)
+//	wexp merge -zero-volatile a.json        # normalize for byte comparison
+//	wexp -dispatch 3 -json                  # fork 3 shard subprocesses locally and merge
+//
 // The -json report is the benchmark artifact CI uploads on every build:
 // it bundles the rendered tables with the options and per-experiment wall
 // times, so the performance trajectory of the runner is diffable across
 // commits. Results are bit-identical for a given (seed, trials, quick)
-// regardless of -parallel.
+// regardless of -parallel, and — after zeroing the volatile wall-time and
+// parallelism fields — regardless of how the run was sharded.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"wsync/internal/harness"
+	"wsync/internal/shard"
 )
 
-// report is the envelope of the -json output. It records both the raw
-// flag values and the effective (post-default) ones, so two artifacts
-// produced with the same flags but different baked-in defaults remain
-// distinguishable.
-type report struct {
-	Schema               string        `json:"schema"`
-	Trials               int           `json:"trials"`
-	EffectiveTrials      int           `json:"effective_trials"`
-	Seed                 uint64        `json:"seed"`
-	Quick                bool          `json:"quick"`
-	Full                 bool          `json:"full"`
-	Parallelism          int           `json:"parallelism"`
-	EffectiveParallelism int           `json:"effective_parallelism"`
-	Experiments          []reportEntry `json:"experiments"`
-}
-
-// reportEntry pairs one experiment's table with its wall time.
-type reportEntry struct {
-	Table     *harness.Table `json:"table"`
-	ElapsedMS int64          `json:"elapsed_ms"`
-}
-
 // reportSchema names the JSON layout; bump on incompatible changes so CI
-// consumers can detect drift.
+// consumers can detect drift. It must stay equal to shard.Schema (the
+// merge engine's side of the contract) — CI's docs job checks both
+// literals and TestReportSchemaMatchesShardPackage pins them.
 const reportSchema = "wsync-bench/v1"
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(args[1:], stdout, stderr)
+	}
+
 	fs := flag.NewFlagSet("wexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		trials   = fs.Int("trials", 0, "trials per sweep point (0 = default)")
-		seed     = fs.Uint64("seed", 0, "seed offset for all experiments")
-		quick    = fs.Bool("quick", false, "smallest grids (smoke test)")
-		full     = fs.Bool("full", false, "large grids: N up to 16384, F up to 128, multihop RGGs up to 4096, rendezvous up to F=128")
-		parallel = fs.Int("parallel", 0, "trial-runner worker goroutines (0 = one per CPU)")
-		format   = fs.String("format", "text", "output format: text, markdown, csv, json")
-		jsonOut  = fs.Bool("json", false, "shorthand for -format json")
-		outDir   = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
-		listAll  = fs.Bool("list", false, "list experiment ids and exit")
+		runIDs    = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		trials    = fs.Int("trials", 0, "trials per sweep point (0 = default)")
+		seed      = fs.Uint64("seed", 0, "seed offset for all experiments")
+		quick     = fs.Bool("quick", false, "smallest grids (smoke test)")
+		full      = fs.Bool("full", false, "large grids: N up to 16384, F up to 128, multihop RGGs up to 4096, rendezvous up to F=128")
+		parallel  = fs.Int("parallel", 0, "trial-runner worker goroutines (0 = one per CPU)")
+		format    = fs.String("format", "text", "output format: text, markdown, csv, json")
+		jsonOut   = fs.Bool("json", false, "shorthand for -format json")
+		outDir    = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
+		listAll   = fs.Bool("list", false, "list experiment ids and exit")
+		shards    = fs.Int("shards", 0, "split the selection into this many shards and run one of them (requires -shard-index)")
+		shardIdx  = fs.Int("shard-index", -1, "which shard of -shards to run, in [0, shards)")
+		dispatch  = fs.Int("dispatch", 0, "fork this many local shard subprocesses and merge their reports")
+		planCosts = fs.String("plan-costs", "", "prior wsync-bench/v1 report whose elapsed_ms values balance the shard partition")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	formatSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatSet = true
+		}
+	})
 	if *jsonOut {
 		*format = "json"
 	}
 	if *quick && *full {
-		fmt.Fprintln(os.Stderr, "wexp: -quick and -full are mutually exclusive")
+		fmt.Fprintln(stderr, "wexp: -quick and -full are mutually exclusive")
 		return 2
 	}
 	switch *format {
 	case "text", "markdown", "csv", "json":
 	default:
-		fmt.Fprintf(os.Stderr, "wexp: unknown format %q (text, markdown, csv, json)\n", *format)
+		fmt.Fprintf(stderr, "wexp: unknown format %q (text, markdown, csv, json)\n", *format)
+		return 2
+	}
+	switch {
+	case *shards < 0 || *dispatch < 0:
+		fmt.Fprintln(stderr, "wexp: -shards and -dispatch must be positive")
+		return 2
+	case *shards > 0 && *dispatch > 0:
+		fmt.Fprintln(stderr, "wexp: -shards and -dispatch are mutually exclusive")
+		return 2
+	case *shards > 0 && (*shardIdx < 0 || *shardIdx >= *shards):
+		fmt.Fprintf(stderr, "wexp: -shard-index must be in [0, %d)\n", *shards)
+		return 2
+	case *shards == 0 && *shardIdx >= 0:
+		fmt.Fprintln(stderr, "wexp: -shard-index requires -shards")
+		return 2
+	case *planCosts != "" && *shards == 0 && *dispatch == 0:
+		fmt.Fprintln(stderr, "wexp: -plan-costs requires -shards or -dispatch")
 		return 2
 	}
 
@@ -100,6 +127,44 @@ func run(args []string, stdout *os.File) int {
 			fmt.Fprintf(stdout, "%-5s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	if *dispatch > 0 {
+		// Explicitly requesting any non-JSON format is an error; the
+		// defaulted "text" simply upgrades to the merged JSON report.
+		if (formatSet && *format != "json") || *outDir != "" {
+			fmt.Fprintln(stderr, "wexp: -dispatch emits the merged JSON report to stdout (only -format json, no -out)")
+			return 2
+		}
+		// Split the trial-worker budget across the children — K children
+		// each defaulting to one worker per CPU would oversubscribe the
+		// machine K-fold. Results are bit-identical at any parallelism,
+		// so the split never changes the merged report.
+		totalWorkers := *parallel
+		if totalWorkers <= 0 {
+			totalWorkers = runtime.NumCPU()
+		}
+		childWorkers := (totalWorkers + *dispatch - 1) / *dispatch
+		// Forward the sweep-identity flags verbatim; each child adds its
+		// own -shards/-shard-index pair.
+		childArgs := []string{
+			"-trials", fmt.Sprint(*trials),
+			"-seed", fmt.Sprint(*seed),
+			"-parallel", fmt.Sprint(childWorkers),
+		}
+		if *quick {
+			childArgs = append(childArgs, "-quick")
+		}
+		if *full {
+			childArgs = append(childArgs, "-full")
+		}
+		if *runIDs != "" {
+			childArgs = append(childArgs, "-run", *runIDs)
+		}
+		if *planCosts != "" {
+			childArgs = append(childArgs, "-plan-costs", *planCosts)
+		}
+		return runDispatch(*dispatch, childArgs, stdout, stderr)
 	}
 
 	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, Full: *full, Parallelism: *parallel}
@@ -111,21 +176,56 @@ func run(args []string, stdout *os.File) int {
 		for _, id := range strings.Split(*runIDs, ",") {
 			e, ok := harness.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "wexp: unknown experiment %q (use -list)\n", id)
+				fmt.Fprintf(stderr, "wexp: unknown experiment %q (valid: %s)\n", id, strings.Join(harness.IDs(), ", "))
 				return 2
 			}
 			selected = append(selected, e)
 		}
 	}
 
+	var shardMeta *shard.Meta
+	if *shards > 0 {
+		ids := make([]string, len(selected))
+		for i, e := range selected {
+			ids[i] = e.ID
+		}
+		var costs map[string]int64
+		if *planCosts != "" {
+			prior, err := shard.ReadFile(*planCosts)
+			if err != nil {
+				fmt.Fprintf(stderr, "wexp: -plan-costs: %v\n", err)
+				return 1
+			}
+			costs = shard.CostsFromReport(prior)
+		}
+		plan, err := shard.Plan(ids, *shards, costs)
+		if err != nil {
+			fmt.Fprintf(stderr, "wexp: %v\n", err)
+			return 1
+		}
+		mine := plan[*shardIdx]
+		keep := make(map[string]bool, len(mine))
+		for _, id := range mine {
+			keep[id] = true
+		}
+		kept := selected[:0:0]
+		for _, e := range selected {
+			if keep[e.ID] {
+				kept = append(kept, e)
+			}
+		}
+		selected = kept
+		shardMeta = &shard.Meta{Count: *shards, Index: *shardIdx, IDs: mine, Selection: ids}
+	}
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "wexp: %v\n", err)
+			fmt.Fprintf(stderr, "wexp: %v\n", err)
 			return 1
 		}
 	}
 
-	rep := report{
+	rep := shard.Report{
 		Schema:               reportSchema,
 		Trials:               *trials,
 		EffectiveTrials:      opt.EffectiveTrials(),
@@ -134,14 +234,15 @@ func run(args []string, stdout *os.File) int {
 		Full:                 *full,
 		Parallelism:          *parallel,
 		EffectiveParallelism: opt.EffectiveParallelism(),
-		Experiments:          []reportEntry{},
+		Shard:                shardMeta,
+		Experiments:          []shard.Entry{},
 	}
 
 	for _, e := range selected {
 		start := time.Now()
 		tbl, err := e.Run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wexp: %s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "wexp: %s: %v\n", e.ID, err)
 			return 1
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
@@ -149,23 +250,22 @@ func run(args []string, stdout *os.File) int {
 		if *format == "json" && *outDir == "" {
 			// Stdout JSON is one report for all experiments, emitted after
 			// the loop so the document stays a single valid value.
-			rep.Experiments = append(rep.Experiments, reportEntry{
+			rep.Experiments = append(rep.Experiments, shard.Entry{
 				Table: tbl, ElapsedMS: elapsed.Milliseconds(),
 			})
 			continue
 		}
 
-		var out *os.File
-		if *outDir == "" {
-			out = stdout
-		} else {
+		var out io.Writer = stdout
+		var file *os.File
+		if *outDir != "" {
 			ext := map[string]string{"text": "txt", "markdown": "md", "csv": "csv", "json": "json"}[*format]
-			f, err := os.Create(filepath.Join(*outDir, e.ID+"."+ext))
+			file, err = os.Create(filepath.Join(*outDir, e.ID+"."+ext))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "wexp: %v\n", err)
+				fmt.Fprintf(stderr, "wexp: %v\n", err)
 				return 1
 			}
-			out = f
+			out = file
 		}
 
 		switch *format {
@@ -181,22 +281,20 @@ func run(args []string, stdout *os.File) int {
 				_, err = fmt.Fprintf(out, "(%s)\n\n", elapsed)
 			}
 		}
-		if out != stdout {
-			if cerr := out.Close(); err == nil {
+		if file != nil {
+			if cerr := file.Close(); err == nil {
 				err = cerr
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wexp: %s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "wexp: %s: %v\n", e.ID, err)
 			return 1
 		}
 	}
 
 	if *format == "json" && *outDir == "" {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "wexp: %v\n", err)
+		if err := rep.Encode(stdout); err != nil {
+			fmt.Fprintf(stderr, "wexp: %v\n", err)
 			return 1
 		}
 	}

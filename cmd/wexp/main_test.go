@@ -1,37 +1,38 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wsync/internal/shard"
 )
 
-// capture runs run() with stdout redirected to a temp file and returns
-// (exit code, output).
-func capture(t *testing.T, args []string) (int, string) {
+// TestMain reroutes the test binary into run() when it is re-executed as
+// a -dispatch shard subprocess (dispatch.go sets the variable on every
+// child; the real wexp binary ignores it).
+func TestMain(m *testing.M) {
+	if os.Getenv("WEXP_DISPATCH_CHILD") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// capture runs run() with stdout and stderr buffered and returns
+// (exit code, stdout, stderr).
+func capture(t *testing.T, args []string) (int, string, string) {
 	t.Helper()
-	f, err := os.CreateTemp(t.TempDir(), "wexp-out")
-	if err != nil {
-		t.Fatal(err)
-	}
-	code := run(args, f)
-	if _, err := f.Seek(0, 0); err != nil {
-		t.Fatal(err)
-	}
-	data, err := os.ReadFile(f.Name())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		t.Fatal(err)
-	}
-	return code, string(data)
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
 }
 
 func TestList(t *testing.T) {
-	code, out := capture(t, []string{"-list"})
+	code, out, _ := capture(t, []string{"-list"})
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
@@ -42,22 +43,32 @@ func TestList(t *testing.T) {
 	}
 }
 
+// TestUnknownExperiment pins the error contract: an unknown -run id fails
+// with the full list of valid ids, instead of silently running nothing.
 func TestUnknownExperiment(t *testing.T) {
-	code, _ := capture(t, []string{"-run", "ZZZ"})
+	code, _, errOut := capture(t, []string{"-run", "ZZZ"})
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `"ZZZ"`) {
+		t.Errorf("error does not name the bad id: %q", errOut)
+	}
+	for _, id := range []string{"F1", "T10a", "X7", "R3"} {
+		if !strings.Contains(errOut, id) {
+			t.Errorf("error does not list valid id %s: %q", id, errOut)
+		}
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	code, _ := capture(t, []string{"-definitely-not-a-flag"})
+	code, _, _ := capture(t, []string{"-definitely-not-a-flag"})
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
 
 func TestRunSingleExperimentText(t *testing.T) {
-	code, out := capture(t, []string{"-quick", "-trials", "2", "-run", "F1"})
+	code, out, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "F1"})
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
@@ -67,7 +78,7 @@ func TestRunSingleExperimentText(t *testing.T) {
 }
 
 func TestRunMarkdown(t *testing.T) {
-	code, out := capture(t, []string{"-quick", "-trials", "2", "-run", "F2", "-format", "markdown"})
+	code, out, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "F2", "-format", "markdown"})
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
@@ -79,11 +90,11 @@ func TestRunMarkdown(t *testing.T) {
 // TestRunJSONReport checks the machine-readable report CI consumes: valid
 // JSON, schema-tagged, one entry per requested experiment.
 func TestRunJSONReport(t *testing.T) {
-	code, out := capture(t, []string{"-quick", "-trials", "2", "-parallel", "4", "-json", "-run", "F1,L2"})
+	code, out, _ := capture(t, []string{"-quick", "-trials", "2", "-parallel", "4", "-json", "-run", "F1,L2"})
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
-	var rep report
+	var rep shard.Report
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}
@@ -95,6 +106,9 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	if rep.EffectiveTrials != 2 || rep.EffectiveParallelism != 4 {
 		t.Errorf("effective options not recorded: %+v", rep)
+	}
+	if rep.Shard != nil {
+		t.Errorf("unsharded run stamped shard metadata: %+v", rep.Shard)
 	}
 	if len(rep.Experiments) != 2 {
 		t.Fatalf("got %d experiments, want 2", len(rep.Experiments))
@@ -110,10 +124,19 @@ func TestRunJSONReport(t *testing.T) {
 	}
 }
 
+// TestReportSchemaMatchesShardPackage pins the two schema literals (the
+// emitter's and the merge engine's) together; CI's docs job checks the
+// same from outside the build.
+func TestReportSchemaMatchesShardPackage(t *testing.T) {
+	if reportSchema != shard.Schema {
+		t.Fatalf("reportSchema %q != shard.Schema %q", reportSchema, shard.Schema)
+	}
+}
+
 // TestRunJSONToDir checks per-experiment JSON files under -out.
 func TestRunJSONToDir(t *testing.T) {
 	dir := t.TempDir()
-	code, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "F1", "-format", "json", "-out", dir})
+	code, _, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "F1", "-format", "json", "-out", dir})
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
@@ -135,15 +158,11 @@ func TestRunJSONToDir(t *testing.T) {
 // identical tables (only elapsed times may differ).
 func TestParallelFlagDeterminism(t *testing.T) {
 	strip := func(out string) string {
-		var rep report
+		var rep shard.Report
 		if err := json.Unmarshal([]byte(out), &rep); err != nil {
 			t.Fatalf("invalid JSON: %v", err)
 		}
-		rep.Parallelism = 0
-		rep.EffectiveParallelism = 0
-		for i := range rep.Experiments {
-			rep.Experiments[i].ElapsedMS = 0
-		}
+		rep.ZeroVolatile()
 		data, err := json.Marshal(rep)
 		if err != nil {
 			t.Fatal(err)
@@ -151,11 +170,11 @@ func TestParallelFlagDeterminism(t *testing.T) {
 		return string(data)
 	}
 	args := []string{"-quick", "-trials", "3", "-seed", "11", "-json", "-run", "T10a,T4"}
-	code, seq := capture(t, append([]string{"-parallel", "1"}, args...))
+	code, seq, _ := capture(t, append([]string{"-parallel", "1"}, args...))
 	if code != 0 {
 		t.Fatalf("sequential exit = %d", code)
 	}
-	code, par := capture(t, append([]string{"-parallel", "8"}, args...))
+	code, par, _ := capture(t, append([]string{"-parallel", "8"}, args...))
 	if code != 0 {
 		t.Fatalf("parallel exit = %d", code)
 	}
@@ -166,7 +185,7 @@ func TestParallelFlagDeterminism(t *testing.T) {
 
 // TestFullFlagConflictsWithQuick pins the tier flags' mutual exclusion.
 func TestFullFlagConflictsWithQuick(t *testing.T) {
-	code, _ := capture(t, []string{"-quick", "-full", "-run", "F1"})
+	code, _, _ := capture(t, []string{"-quick", "-full", "-run", "F1"})
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
@@ -176,11 +195,11 @@ func TestFullFlagConflictsWithQuick(t *testing.T) {
 // wsync-bench/v1 report (on a grid-less experiment, so the test stays
 // fast; the full sweep grids themselves run in CI's bench job).
 func TestFullFlagReport(t *testing.T) {
-	code, out := capture(t, []string{"-full", "-trials", "2", "-json", "-run", "F1"})
+	code, out, _ := capture(t, []string{"-full", "-trials", "2", "-json", "-run", "F1"})
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
-	var rep report
+	var rep shard.Report
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}
@@ -198,7 +217,7 @@ func TestFullFlagReport(t *testing.T) {
 }
 
 func TestBadFormat(t *testing.T) {
-	code, _ := capture(t, []string{"-format", "yaml"})
+	code, _, _ := capture(t, []string{"-format", "yaml"})
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
 	}
@@ -206,7 +225,7 @@ func TestBadFormat(t *testing.T) {
 
 func TestRunCSVToDir(t *testing.T) {
 	dir := t.TempDir()
-	code, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "L2", "-format", "csv", "-out", dir})
+	code, _, _ := capture(t, []string{"-quick", "-trials", "2", "-run", "L2", "-format", "csv", "-out", dir})
 	if code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
@@ -216,5 +235,276 @@ func TestRunCSVToDir(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "s,") {
 		t.Fatalf("csv = %q", string(data)[:20])
+	}
+}
+
+// TestShardFlagValidation pins the shard CLI's usage errors.
+func TestShardFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"shards without index", []string{"-shards", "3", "-run", "F1"}},
+		{"index without shards", []string{"-shard-index", "0", "-run", "F1"}},
+		{"index out of range", []string{"-shards", "3", "-shard-index", "3", "-run", "F1"}},
+		{"negative index", []string{"-shards", "3", "-shard-index", "-2", "-run", "F1"}},
+		{"negative shards", []string{"-shards", "-1", "-shard-index", "0", "-run", "F1"}},
+		{"shards with dispatch", []string{"-dispatch", "2", "-shards", "2", "-shard-index", "0"}},
+		{"plan-costs without shards", []string{"-plan-costs", "x.json", "-run", "F1"}},
+		{"dispatch with csv", []string{"-dispatch", "2", "-format", "csv"}},
+		{"dispatch with explicit text", []string{"-dispatch", "2", "-format", "text"}},
+		{"dispatch with out dir", []string{"-dispatch", "2", "-out", "somewhere"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if code, _, _ := capture(t, c.args); code != 2 {
+				t.Fatalf("exit = %d, want 2", code)
+			}
+		})
+	}
+}
+
+// TestShardWorkerMetadata checks the worker path: a -shards run executes
+// exactly its partition and stamps the artifact with shard metadata.
+func TestShardWorkerMetadata(t *testing.T) {
+	ran := map[string]bool{}
+	var metas []*shard.Meta
+	for i := 0; i < 2; i++ {
+		code, out, errOut := capture(t, []string{
+			"-quick", "-trials", "2", "-run", "F1,L2,T4",
+			"-shards", "2", "-shard-index", fmt.Sprint(i), "-json"})
+		if code != 0 {
+			t.Fatalf("shard %d exit = %d: %s", i, code, errOut)
+		}
+		var rep shard.Report
+		if err := json.Unmarshal([]byte(out), &rep); err != nil {
+			t.Fatalf("shard %d: invalid JSON: %v", i, err)
+		}
+		if rep.Shard == nil || rep.Shard.Count != 2 || rep.Shard.Index != i {
+			t.Fatalf("shard %d metadata = %+v", i, rep.Shard)
+		}
+		if strings.Join(rep.Shard.Selection, ",") != "F1,L2,T4" {
+			t.Fatalf("shard %d selection = %v, want the full -run list", i, rep.Shard.Selection)
+		}
+		if len(rep.Experiments) != len(rep.Shard.IDs) {
+			t.Fatalf("shard %d ran %d experiments, metadata says %v", i, len(rep.Experiments), rep.Shard.IDs)
+		}
+		for j, e := range rep.Experiments {
+			if e.Table.ID != rep.Shard.IDs[j] {
+				t.Fatalf("shard %d order: ran %s at %d, plan says %s", i, e.Table.ID, j, rep.Shard.IDs[j])
+			}
+			if ran[e.Table.ID] {
+				t.Fatalf("experiment %s ran on two shards", e.Table.ID)
+			}
+			ran[e.Table.ID] = true
+		}
+		metas = append(metas, rep.Shard)
+	}
+	for _, id := range []string{"F1", "L2", "T4"} {
+		if !ran[id] {
+			t.Errorf("experiment %s ran on no shard (metas: %+v)", id, metas)
+		}
+	}
+}
+
+// writeTemp writes one captured artifact to a temp file for the merge CLI.
+func writeTemp(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mergeNormalize runs the merge CLI with -zero-volatile over the given
+// artifacts and returns the normalized document.
+func mergeNormalize(t *testing.T, paths ...string) string {
+	t.Helper()
+	code, out, errOut := capture(t, append([]string{"merge", "-zero-volatile"}, paths...))
+	if code != 0 {
+		t.Fatalf("merge exit = %d: %s", code, errOut)
+	}
+	return out
+}
+
+// TestShardMergeIdentity is the subsystem's headline invariant: for
+// K ∈ {1, 2, 5}, merging the K shard artifacts of a default-tier run is
+// byte-identical to the unsharded report once both sides pass through
+// `merge -zero-volatile` (which zeroes only the fields BENCH_FORMAT.md
+// documents as volatile). CI's shard-smoke job enforces the same with
+// the real binary on every push.
+func TestShardMergeIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-tier sweeps are too slow for -short")
+	}
+	dir := t.TempDir()
+	base := []string{"-trials", "2", "-json"}
+
+	code, out, errOut := capture(t, base)
+	if code != 0 {
+		t.Fatalf("unsharded exit = %d: %s", code, errOut)
+	}
+	unsharded := writeTemp(t, dir, "unsharded.json", out)
+	want := mergeNormalize(t, unsharded)
+	if !strings.Contains(want, `"T10a"`) {
+		t.Fatalf("normalized unsharded report looks empty:\n%.400s", want)
+	}
+
+	for _, k := range []int{1, 2, 5} {
+		var paths []string
+		for i := 0; i < k; i++ {
+			args := append([]string{"-shards", fmt.Sprint(k), "-shard-index", fmt.Sprint(i)}, base...)
+			code, out, errOut := capture(t, args)
+			if code != 0 {
+				t.Fatalf("K=%d shard %d exit = %d: %s", k, i, code, errOut)
+			}
+			paths = append(paths, writeTemp(t, dir, fmt.Sprintf("k%d_s%d.json", k, i), out))
+		}
+		if got := mergeNormalize(t, paths...); got != want {
+			t.Fatalf("K=%d merged report differs from unsharded (lens %d vs %d)", k, len(got), len(want))
+		}
+	}
+}
+
+// TestMergeRejectsEnvelopeMismatch checks the merge CLI refuses
+// artifacts from different sweeps.
+func TestMergeRejectsEnvelopeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i, seed := range []string{"1", "2"} {
+		code, out, _ := capture(t, []string{"-quick", "-trials", "2", "-seed", seed, "-json", "-run", "F1"})
+		if code != 0 {
+			t.Fatalf("exit = %d", code)
+		}
+		paths = append(paths, writeTemp(t, dir, fmt.Sprintf("seed%d.json", i), out))
+	}
+	code, _, errOut := capture(t, append([]string{"merge"}, paths...))
+	if code != 1 {
+		t.Fatalf("merge exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "seed") {
+		t.Fatalf("error does not name the mismatched field: %q", errOut)
+	}
+}
+
+// TestMergeCollapsesDuplicates: merging an artifact with itself is the
+// artifact (identical duplicate ids collapse).
+func TestMergeCollapsesDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	code, out, _ := capture(t, []string{"-quick", "-trials", "2", "-json", "-run", "F1,L2"})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	p := writeTemp(t, dir, "rep.json", out)
+	if mergeNormalize(t, p, p) != mergeNormalize(t, p) {
+		t.Fatal("self-merge is not idempotent")
+	}
+}
+
+// TestMergeUsage pins the merge subcommand's usage and I/O errors.
+func TestMergeUsage(t *testing.T) {
+	if code, _, _ := capture(t, []string{"merge"}); code != 2 {
+		t.Fatalf("no inputs: exit = %d, want 2", code)
+	}
+	if code, _, _ := capture(t, []string{"merge", "/definitely/not/a/file.json"}); code != 1 {
+		t.Fatalf("missing file: exit = %d, want 1", code)
+	}
+	bad := writeTemp(t, t.TempDir(), "bad.json", `{"schema":"wsync-bench/v999"}`)
+	if code, _, errOut := capture(t, []string{"merge", bad}); code != 1 || !strings.Contains(errOut, "schema") {
+		t.Fatalf("wrong schema: exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+// TestMergeOutFile checks -out writes the merged report to a file.
+func TestMergeOutFile(t *testing.T) {
+	dir := t.TempDir()
+	code, out, _ := capture(t, []string{"-quick", "-trials", "2", "-json", "-run", "F1"})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	in := writeTemp(t, dir, "in.json", out)
+	dst := filepath.Join(dir, "merged.json")
+	code, stdout, errOut := capture(t, []string{"merge", "-out", dst, in})
+	if code != 0 {
+		t.Fatalf("merge exit = %d: %s", code, errOut)
+	}
+	if stdout != "" {
+		t.Fatalf("merge -out still wrote to stdout: %q", stdout)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.Decode(data); err != nil {
+		t.Fatalf("merged file invalid: %v", err)
+	}
+}
+
+// TestPlanCostsFlag checks the cost-balanced worker path end to end: a
+// prior artifact feeds -plan-costs and the sharded run still covers the
+// selection exactly.
+func TestPlanCostsFlag(t *testing.T) {
+	dir := t.TempDir()
+	code, out, _ := capture(t, []string{"-quick", "-trials", "2", "-json", "-run", "F1,L2,T4"})
+	if code != 0 {
+		t.Fatalf("prior run exit = %d", code)
+	}
+	prior := writeTemp(t, dir, "prior.json", out)
+	ran := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		code, out, errOut := capture(t, []string{
+			"-quick", "-trials", "2", "-run", "F1,L2,T4",
+			"-shards", "2", "-shard-index", fmt.Sprint(i), "-plan-costs", prior, "-json"})
+		if code != 0 {
+			t.Fatalf("shard %d exit = %d: %s", i, code, errOut)
+		}
+		var rep shard.Report
+		if err := json.Unmarshal([]byte(out), &rep); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range rep.Experiments {
+			if ran[e.Table.ID] {
+				t.Fatalf("experiment %s ran twice", e.Table.ID)
+			}
+			ran[e.Table.ID] = true
+		}
+	}
+	if len(ran) != 3 {
+		t.Fatalf("cost-balanced shards covered %d of 3 experiments", len(ran))
+	}
+	// A bad prior report is a hard error, not a silent uniform fallback.
+	code, _, errOut := capture(t, []string{
+		"-run", "F1", "-shards", "2", "-shard-index", "0",
+		"-plan-costs", filepath.Join(dir, "nope.json"), "-json"})
+	if code != 1 || !strings.Contains(errOut, "-plan-costs") {
+		t.Fatalf("missing costs file: exit = %d, stderr = %q", code, errOut)
+	}
+}
+
+// TestDispatchMatchesUnsharded proves the local dispatcher end to end:
+// forked shard subprocesses plus merge produce the same normalized
+// report as a direct run.
+func TestDispatchMatchesUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	args := []string{"-quick", "-trials", "2", "-run", "F1,L2,T4,T10a"}
+
+	code, out, errOut := capture(t, append([]string{"-json"}, args...))
+	if code != 0 {
+		t.Fatalf("direct exit = %d: %s", code, errOut)
+	}
+	direct := writeTemp(t, dir, "direct.json", out)
+
+	code, out, errOut = capture(t, append([]string{"-dispatch", "3"}, args...))
+	if code != 0 {
+		t.Fatalf("dispatch exit = %d: %s", code, errOut)
+	}
+	dispatched := writeTemp(t, dir, "dispatched.json", out)
+
+	if mergeNormalize(t, dispatched) != mergeNormalize(t, direct) {
+		t.Fatal("dispatched report differs from direct run")
 	}
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wsync/internal/shard"
+)
+
+// runMerge implements `wexp merge [-out file] [-zero-volatile] a.json
+// b.json ...`: it unions shard artifacts of one sweep back into the
+// report an unsharded run would have produced (docs/BENCH_FORMAT.md,
+// "Merge semantics"). With a single input it acts as a normalizer —
+// decode, canonically re-order, re-encode — which is how CI byte-compares
+// a merged sharded run against the unsharded artifact: pass both sides
+// through `merge -zero-volatile` and cmp the outputs.
+func runMerge(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wexp merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		outPath      = fs.String("out", "", "write the merged report to this file instead of stdout")
+		zeroVolatile = fs.Bool("zero-volatile", false, "zero elapsed_ms and the parallelism fields, for byte comparison across runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "wexp merge: no input reports (usage: wexp merge [-out file] [-zero-volatile] a.json b.json ...)")
+		return 2
+	}
+
+	reps := make([]*shard.Report, len(paths))
+	for i, p := range paths {
+		r, err := shard.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "wexp merge: %v\n", err)
+			return 1
+		}
+		reps[i] = r
+	}
+
+	merged, err := shard.Merge(reps)
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp merge: %v\n", err)
+		return 1
+	}
+	if *zeroVolatile {
+		merged.ZeroVolatile()
+	}
+
+	out := stdout
+	var file *os.File
+	if *outPath != "" {
+		file, err = os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "wexp merge: %v\n", err)
+			return 1
+		}
+		out = file
+	}
+	err = merged.Encode(out)
+	if file != nil {
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp merge: %v\n", err)
+		return 1
+	}
+	return 0
+}

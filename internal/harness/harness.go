@@ -89,6 +89,18 @@ func All() []Experiment {
 	}
 }
 
+// IDs returns every experiment id in presentation order — the order an
+// unselected run executes in, and the catalogue order sharded reports
+// merge back into (internal/shard).
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {

@@ -22,6 +22,11 @@
 // neighbors' transmit state, high-degree listeners binary-search the
 // (smaller) transmitter bucket against their sorted neighbor list.
 //
+// Topology may also change while a resolver lives: SetGraph swaps the
+// Graph between rounds — invalidating any per-node transmit state
+// registered under the old one — which is the hook dynamic-topology
+// experiments (nodes moving, edges churning per round) build on.
+//
 // Both engines keep their legacy full-scan resolvers as differential
 // oracles (sim.MediumScan, multihop's Config.Medium knob); the indexed
 // path must stay bit-identical to them in every observable, which

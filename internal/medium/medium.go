@@ -100,6 +100,7 @@ func (a *Activation) Wake(r uint64) []int {
 // is reserved (frequencies are 1-based).
 type Resolver struct {
 	f     int
+	n     int
 	graph Graph
 
 	txCount   []int // per frequency: transmitter count
@@ -120,6 +121,7 @@ type Resolver struct {
 func NewResolver(f int, n int, graph Graph) *Resolver {
 	r := &Resolver{
 		f:       f,
+		n:       n,
 		graph:   graph,
 		txCount: make([]int, f+1),
 		txLast:  make([]int, f+1),
@@ -216,6 +218,36 @@ func (r *Resolver) Receive(u, f int) (from, count int) {
 		}
 	}
 	return from, count
+}
+
+// SetGraph swaps the topology the resolver resolves against — the
+// dynamic-topology hook: engines that churn edges between rounds swap in
+// the new Graph here instead of rebuilding the resolver (which would
+// reallocate every per-frequency bucket). Any transmit or listen state
+// registered under the old graph is invalidated, exactly as if Reset had
+// run, so a mid-round swap can never leak one topology's per-node
+// transmit state into another's receptions. A nil graph switches to the
+// complete-graph fast path; per-node state grows as needed if the new
+// graph covers more nodes than the resolver was built for.
+func (r *Resolver) SetGraph(g Graph) {
+	// Reset while the old graph is still installed: in graph mode it is
+	// what clears the per-node txFreq entries this round dirtied.
+	r.Reset()
+	r.graph = g
+	if g == nil {
+		return
+	}
+	if n := g.N(); n > r.n {
+		r.n = n
+	}
+	if r.txNodes == nil {
+		r.txNodes = make([][]int, r.f+1)
+	}
+	if len(r.txFreq) < r.n {
+		// Reset above left every entry zero, so a fresh zeroed slice is
+		// equivalent to growing the old one.
+		r.txFreq = make([]int, r.n)
+	}
 }
 
 // containsSorted reports whether x occurs in the ascending slice s.

@@ -222,6 +222,98 @@ func TestResolverGraphWalks(t *testing.T) {
 	}
 }
 
+// TestResolverSetGraph covers the dynamic-topology hook: swapping the
+// Graph between (or even mid-) rounds invalidates per-node transmit
+// state and behaves exactly like a resolver freshly built on the new
+// topology.
+func TestResolverSetGraph(t *testing.T) {
+	line := &testGraph{adj: [][]int{{1}, {0, 2}, {1}}}           // 0—1—2
+	triangle := &testGraph{adj: [][]int{{1, 2}, {0, 2}, {0, 1}}} // complete on 3
+
+	// round registers the same activity on any resolver: 0 and 2
+	// transmit on frequency 1, node 1 listens.
+	round := func(r *Resolver) {
+		r.Transmit(0, 1)
+		r.Listen(1)
+		r.Transmit(2, 1)
+	}
+
+	t.Run("graph to graph matches fresh resolver", func(t *testing.T) {
+		r := NewResolver(2, 3, line)
+		round(r)
+		// On the line, listener 1 neighbors both transmitters: collision.
+		if _, count := r.Receive(1, 1); count != 2 {
+			t.Fatalf("line Receive count = %d, want 2", count)
+		}
+		r.SetGraph(&testGraph{adj: [][]int{{1}, {0}, {}}}) // 0—1, 2 isolated
+		round(r)
+		fresh := NewResolver(2, 3, &testGraph{adj: [][]int{{1}, {0}, {}}})
+		round(fresh)
+		gf, gc := r.Receive(1, 1)
+		wf, wc := fresh.Receive(1, 1)
+		if gf != wf || gc != wc {
+			t.Fatalf("swapped Receive = %d,%d; fresh = %d,%d", gf, gc, wf, wc)
+		}
+		// Isolated node 2's transmission is now invisible: clean reception
+		// from 0 only.
+		if gc != 1 || gf != 0 {
+			t.Fatalf("Receive = %d,%d, want 0,1", gf, gc)
+		}
+	})
+
+	t.Run("mid-round swap invalidates transmit state", func(t *testing.T) {
+		r := NewResolver(2, 3, line)
+		round(r) // never resolved or Reset
+		r.SetGraph(triangle)
+		if got := len(r.Listeners()); got != 0 {
+			t.Fatalf("listeners survived the swap: %d", got)
+		}
+		if r.Count(1) != 0 {
+			t.Fatalf("Count(1) = %d after swap, want 0", r.Count(1))
+		}
+		r.Listen(1)
+		if _, count := r.Receive(1, 1); count != 0 {
+			t.Fatalf("stale transmission heard after swap: count = %d", count)
+		}
+	})
+
+	t.Run("nil to graph and back", func(t *testing.T) {
+		r := NewResolver(2, 3, nil)
+		round(r)
+		// Complete graph: global count, collision.
+		if _, count := r.Receive(1, 1); count != 2 {
+			t.Fatalf("complete-graph count = %d, want 2", count)
+		}
+		r.SetGraph(&testGraph{adj: [][]int{{1}, {0}, {}}})
+		round(r)
+		if from, count := r.Receive(1, 1); count != 1 || from != 0 {
+			t.Fatalf("after nil→graph swap Receive = %d,%d, want 0,1", from, count)
+		}
+		r.SetGraph(nil)
+		round(r)
+		if _, count := r.Receive(1, 1); count != 2 {
+			t.Fatalf("after graph→nil swap count = %d, want 2", count)
+		}
+	})
+
+	t.Run("new graph may grow the node count", func(t *testing.T) {
+		r := NewResolver(2, 2, &testGraph{adj: [][]int{{1}, {0}}})
+		r.Transmit(0, 1)
+		r.Reset()
+		big := &testGraph{adj: [][]int{{3}, {2}, {1}, {0}}} // 0—3, 1—2
+		r.SetGraph(big)
+		r.Transmit(3, 1)
+		r.Listen(0)
+		r.Listen(1)
+		if from, count := r.Receive(0, 1); count != 1 || from != 3 {
+			t.Fatalf("grown Receive(0) = %d,%d, want 3,1", from, count)
+		}
+		if _, count := r.Receive(1, 1); count != 0 {
+			t.Fatalf("grown Receive(1) count = %d, want 0", count)
+		}
+	})
+}
+
 func TestContainsSorted(t *testing.T) {
 	s := []int{1, 4, 7, 9, 30}
 	for _, x := range s {

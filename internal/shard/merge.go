@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"wsync/internal/harness"
+)
+
+// Merge unions shard artifacts back into the single report an unsharded
+// run would have produced, implementing the merge semantics documented
+// in docs/BENCH_FORMAT.md:
+//
+//   - Envelopes must agree on schema, seed, trials, effective_trials,
+//     quick, and full; any disagreement means the artifacts came from
+//     different sweeps and the merge is rejected.
+//   - Experiments are keyed by table id. Duplicate ids whose tables are
+//     byte-identical collapse to one entry (the first occurrence's
+//     elapsed_ms wins); duplicate ids with differing tables are
+//     rejected.
+//   - elapsed_ms values are preserved per shard, never summed: wall
+//     times from different machines are not comparable.
+//   - The merged experiments array is in catalogue order (wexp -list),
+//     the order an unsharded run of the full selection executes in; ids
+//     unknown to the catalogue sort after it, lexically.
+//   - When inputs carry shard metadata, the set must be complete: one
+//     artifact for every index of one shard count. A partial set would
+//     otherwise merge silently into a schema-valid report missing part
+//     of the sweep — the metadata exists exactly to catch the lost
+//     machine.
+//
+// The merged envelope carries no shard metadata and zeroes both
+// parallelism fields — no single worker count describes a multi-machine
+// run, and docs/BENCH_FORMAT.md already scopes them out of the
+// determinism contract.
+func Merge(reps []*Report) (*Report, error) {
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("shard: nothing to merge")
+	}
+	base := reps[0]
+	for i, r := range reps[1:] {
+		if msg := envelopeMismatch(base, r); msg != "" {
+			return nil, fmt.Errorf("shard: report %d does not merge with report 0: %s", i+1, msg)
+		}
+	}
+	if err := checkShardSet(reps); err != nil {
+		return nil, err
+	}
+
+	merged := make(map[string]Entry)
+	var order []string
+	for ri, r := range reps {
+		for _, e := range r.Experiments {
+			if e.Table == nil {
+				return nil, fmt.Errorf("shard: report %d has an entry without a table", ri)
+			}
+			id := e.Table.ID
+			prev, ok := merged[id]
+			if !ok {
+				merged[id] = e
+				order = append(order, id)
+				continue
+			}
+			same, err := tablesEqual(prev.Table, e.Table)
+			if err != nil {
+				return nil, err
+			}
+			if !same {
+				return nil, fmt.Errorf("shard: experiment %s: conflicting tables across reports (envelope mismatch upstream?)", id)
+			}
+		}
+	}
+	sortCatalogue(order)
+
+	out := &Report{
+		Schema:          base.Schema,
+		Trials:          base.Trials,
+		EffectiveTrials: base.EffectiveTrials,
+		Seed:            base.Seed,
+		Quick:           base.Quick,
+		Full:            base.Full,
+		Experiments:     make([]Entry, 0, len(order)),
+	}
+	for _, id := range order {
+		out.Experiments = append(out.Experiments, merged[id])
+	}
+	return out, nil
+}
+
+// checkShardSet enforces consistency and completeness over the inputs'
+// shard metadata. If any report was produced by a sharded worker:
+// every stamped report must have run exactly its planned ids, all
+// stamped reports must agree on the shard count and on the selection
+// their plans partitioned (workers invoked over different -run lists
+// produce a gap the envelope cannot see), the inputs must cover every
+// index 0..Count-1, and the planned ids must union back to the
+// selection. Reports without metadata (unsharded or already-merged
+// artifacts) are unconstrained.
+func checkShardSet(reps []*Report) error {
+	count := 0
+	var selection []string
+	covered := make(map[int]bool)
+	planned := make(map[string]bool)
+	for ri, r := range reps {
+		m := r.Shard
+		if m == nil {
+			continue
+		}
+		if m.Count < 1 || m.Index < 0 || m.Index >= m.Count {
+			return fmt.Errorf("shard: report %d has malformed shard metadata (index %d of %d)", ri, m.Index, m.Count)
+		}
+		if len(r.Experiments) != len(m.IDs) {
+			return fmt.Errorf("shard: report %d ran %d experiments but was planned %d (%v)", ri, len(r.Experiments), len(m.IDs), m.IDs)
+		}
+		for i, e := range r.Experiments {
+			if e.Table != nil && e.Table.ID != m.IDs[i] {
+				return fmt.Errorf("shard: report %d ran %s where its plan says %s", ri, e.Table.ID, m.IDs[i])
+			}
+		}
+		if count == 0 {
+			count = m.Count
+			selection = m.Selection
+		} else {
+			if m.Count != count {
+				return fmt.Errorf("shard: report %d is shard %d of %d, other inputs are of %d", ri, m.Index, m.Count, count)
+			}
+			if !equalStrings(m.Selection, selection) {
+				return fmt.Errorf("shard: report %d was planned over a different selection (%v vs %v)", ri, m.Selection, selection)
+			}
+		}
+		covered[m.Index] = true
+		for _, id := range m.IDs {
+			planned[id] = true
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	if len(covered) != count {
+		var missing []int
+		for i := 0; i < count; i++ {
+			if !covered[i] {
+				missing = append(missing, i)
+			}
+		}
+		return fmt.Errorf("shard: incomplete shard set: %d of %d shards present, missing indexes %v", len(covered), count, missing)
+	}
+	// A complete set's plans must reassemble the selection exactly —
+	// anything else means the workers ran different planner versions.
+	if len(planned) != len(selection) {
+		return fmt.Errorf("shard: complete shard set plans %d experiments, selection has %d", len(planned), len(selection))
+	}
+	for _, id := range selection {
+		if !planned[id] {
+			return fmt.Errorf("shard: selected experiment %s is in no shard's plan", id)
+		}
+	}
+	return nil
+}
+
+// equalStrings reports element-wise equality of two string slices.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// envelopeMismatch names the first field on which two envelopes disagree
+// about sweep identity, or returns "" when they merge cleanly.
+func envelopeMismatch(a, b *Report) string {
+	switch {
+	case a.Schema != b.Schema:
+		return fmt.Sprintf("schema %q vs %q", a.Schema, b.Schema)
+	case a.Seed != b.Seed:
+		return fmt.Sprintf("seed %d vs %d", a.Seed, b.Seed)
+	case a.Trials != b.Trials:
+		return fmt.Sprintf("trials %d vs %d", a.Trials, b.Trials)
+	case a.EffectiveTrials != b.EffectiveTrials:
+		return fmt.Sprintf("effective_trials %d vs %d", a.EffectiveTrials, b.EffectiveTrials)
+	case a.Quick != b.Quick:
+		return fmt.Sprintf("quick %v vs %v", a.Quick, b.Quick)
+	case a.Full != b.Full:
+		return fmt.Sprintf("full %v vs %v", a.Full, b.Full)
+	}
+	return ""
+}
+
+// tablesEqual compares two tables through their canonical JSON form, the
+// same bytes the report emits, so "identical" means what a consumer
+// diffing artifacts would see.
+func tablesEqual(a, b *harness.Table) (bool, error) {
+	aj, err := json.Marshal(a)
+	if err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	return bytes.Equal(aj, bj), nil
+}
+
+// sortCatalogue orders experiment ids the way an unsharded full run
+// executes them: catalogue (presentation) order first, unknown ids after
+// in lexical order.
+func sortCatalogue(ids []string) {
+	rank := make(map[string]int)
+	for i, id := range harness.IDs() {
+		rank[id] = i
+	}
+	unknown := len(rank)
+	sort.SliceStable(ids, func(i, j int) bool {
+		ri, ok := rank[ids[i]]
+		if !ok {
+			ri = unknown
+		}
+		rj, ok := rank[ids[j]]
+		if !ok {
+			rj = unknown
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return ids[i] < ids[j]
+	})
+}

@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsync/internal/harness"
+)
+
+// rep builds a small report with one single-row table per id.
+func testReport(ids ...string) *Report {
+	r := &Report{
+		Schema:          Schema,
+		Trials:          3,
+		EffectiveTrials: 3,
+		Seed:            7,
+		Experiments:     []Entry{},
+	}
+	for i, id := range ids {
+		r.Experiments = append(r.Experiments, Entry{
+			Table: &harness.Table{
+				ID:      id,
+				Title:   "test " + id,
+				Columns: []string{"x"},
+				Rows:    [][]string{{id}},
+			},
+			ElapsedMS: int64(10 * (i + 1)),
+		})
+	}
+	return r
+}
+
+// TestMergeUnionCatalogueOrder: shards holding disjoint experiment sets
+// merge into one report in catalogue (wexp -list) order, regardless of
+// which shard held what, with per-shard elapsed_ms preserved.
+func TestMergeUnionCatalogueOrder(t *testing.T) {
+	a := testReport("X7", "F1") // deliberately out of catalogue order
+	b := testReport("T4")
+	merged, err := Merge([]*Report{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range merged.Experiments {
+		got = append(got, e.Table.ID)
+	}
+	want := []string{"F1", "T4", "X7"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("merged order = %v, want %v", got, want)
+	}
+	// elapsed_ms comes from the shard that ran the experiment, unsummed.
+	for _, e := range merged.Experiments {
+		if e.ElapsedMS == 0 || e.ElapsedMS > 20 {
+			t.Fatalf("%s elapsed = %d, want the per-shard value", e.Table.ID, e.ElapsedMS)
+		}
+	}
+	if merged.Shard != nil {
+		t.Fatal("merged report kept shard metadata")
+	}
+	if merged.Parallelism != 0 || merged.EffectiveParallelism != 0 {
+		t.Fatal("merged report kept a parallelism value")
+	}
+	if merged.Seed != 7 || merged.Trials != 3 || merged.EffectiveTrials != 3 {
+		t.Fatalf("envelope lost: %+v", merged)
+	}
+}
+
+// TestMergeUnknownIDsSortAfterCatalogue: ids the catalogue doesn't know
+// sort after it, lexically, so merging stays total.
+func TestMergeUnknownIDsSortAfterCatalogue(t *testing.T) {
+	merged, err := Merge([]*Report{testReport("ZZ9", "F1", "AA1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range merged.Experiments {
+		got = append(got, e.Table.ID)
+	}
+	if strings.Join(got, ",") != "F1,AA1,ZZ9" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestMergeRejectsMismatches(t *testing.T) {
+	base := func() *Report { return testReport("F1") }
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"seed", func(r *Report) { r.Seed = 8 }, "seed"},
+		{"trials", func(r *Report) { r.Trials = 4 }, "trials"},
+		{"effective trials", func(r *Report) { r.EffectiveTrials = 20 }, "effective_trials"},
+		{"quick", func(r *Report) { r.Quick = true }, "quick"},
+		{"full", func(r *Report) { r.Full = true }, "full"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			other := base()
+			c.mutate(other)
+			_, err := Merge([]*Report{base(), other})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %s", err, c.want)
+			}
+		})
+	}
+}
+
+// TestMergeDuplicateIDs: identical duplicates collapse (first entry's
+// elapsed_ms wins); differing duplicates are rejected.
+func TestMergeDuplicateIDs(t *testing.T) {
+	a, b := testReport("F1"), testReport("F1")
+	b.Experiments[0].ElapsedMS = 999
+	merged, err := Merge([]*Report{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Experiments) != 1 || merged.Experiments[0].ElapsedMS != 10 {
+		t.Fatalf("identical duplicate did not collapse to the first entry: %+v", merged.Experiments)
+	}
+
+	b.Experiments[0].Table.Rows = [][]string{{"different"}}
+	if _, err := Merge([]*Report{a, b}); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("differing duplicate accepted: %v", err)
+	}
+}
+
+// TestMergeShardSetCompleteness: when inputs carry shard metadata, the
+// merge refuses partial sets — a lost machine's artifact must not vanish
+// into a schema-valid but truncated report.
+func TestMergeShardSetCompleteness(t *testing.T) {
+	selection := []string{"F1", "T4", "L2", "X7"}
+	stamped := func(ids []string, count, index int) *Report {
+		r := testReport(ids...)
+		r.Shard = &Meta{Count: count, Index: index, IDs: ids, Selection: selection}
+		return r
+	}
+
+	s0 := stamped([]string{"F1", "T4"}, 3, 0)
+	s1 := stamped([]string{"L2"}, 3, 1)
+	s2 := stamped([]string{"X7"}, 3, 2)
+
+	if _, err := Merge([]*Report{s0, s1, s2}); err != nil {
+		t.Fatalf("complete set rejected: %v", err)
+	}
+	_, err := Merge([]*Report{s0, s1})
+	if err == nil || !strings.Contains(err.Error(), "missing indexes [2]") {
+		t.Fatalf("partial set: err = %v, want missing index 2", err)
+	}
+	if _, err := Merge([]*Report{s0}); err == nil {
+		t.Fatal("single shard of three accepted")
+	}
+	// Duplicate index is fine as long as the set is covered (identical
+	// tables collapse).
+	if _, err := Merge([]*Report{s0, s0, s1, s2}); err != nil {
+		t.Fatalf("covered set with duplicate shard rejected: %v", err)
+	}
+	// Counts must agree.
+	other := stamped([]string{"R1"}, 2, 1)
+	if _, err := Merge([]*Report{s0, s1, s2, other}); err == nil || !strings.Contains(err.Error(), "of 2") {
+		t.Fatalf("mixed counts: err = %v", err)
+	}
+	// Malformed metadata is rejected outright.
+	bad := stamped([]string{"R2"}, 3, 3)
+	if _, err := Merge([]*Report{bad}); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	// Workers invoked over different -run selections: the envelope
+	// agrees, the indexes cover, but the plans partitioned different
+	// sweeps — rejected by the selection cross-check.
+	t1 := stamped([]string{"L2"}, 3, 1)
+	t1.Shard.Selection = []string{"F1", "T4", "L2"}
+	if _, err := Merge([]*Report{s0, t1, s2}); err == nil || !strings.Contains(err.Error(), "selection") {
+		t.Fatalf("mismatched selections: err = %v", err)
+	}
+	// A shard that ran something other than its plan is rejected.
+	drifted := stamped([]string{"L2"}, 3, 1)
+	drifted.Shard.IDs = []string{"R1"}
+	if _, err := Merge([]*Report{s0, drifted, s2}); err == nil {
+		t.Fatal("plan/run drift accepted")
+	}
+	// A complete set whose plans don't reassemble the selection (e.g.
+	// workers on different planner versions) is rejected.
+	gap := stamped([]string{"X7"}, 3, 2)
+	gap.Shard.Selection = append(selection[:len(selection):len(selection)], "R3")
+	g0, g1 := stamped([]string{"F1", "T4"}, 3, 0), stamped([]string{"L2"}, 3, 1)
+	g0.Shard.Selection, g1.Shard.Selection = gap.Shard.Selection, gap.Shard.Selection
+	if _, err := Merge([]*Report{g0, g1, gap}); err == nil {
+		t.Fatal("planned/selection gap accepted")
+	}
+	// Unsharded inputs stay unconstrained.
+	if _, err := Merge([]*Report{testReport("F1"), testReport("T4")}); err != nil {
+		t.Fatalf("unsharded merge rejected: %v", err)
+	}
+}
+
+func TestMergeDegenerate(t *testing.T) {
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := Merge([]*Report{{Schema: Schema, Experiments: []Entry{{Table: nil}}}}); err == nil {
+		t.Fatal("table-less entry accepted")
+	}
+	// Merging only empty shards (K larger than the selection) is legal.
+	merged, err := Merge([]*Report{testReport(), testReport()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Experiments) != 0 {
+		t.Fatalf("experiments = %+v", merged.Experiments)
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the byte-stability the sharded-vs-
+// unsharded comparison rests on: decode∘encode is the identity on
+// encoded reports.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := testReport("F1", "T4")
+	r.Shard = &Meta{Count: 3, Index: 1, IDs: []string{"F1", "T4"}, Selection: []string{"F1", "T4"}}
+	var first bytes.Buffer
+	if err := r.Encode(&first); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(first.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Shard == nil || decoded.Shard.Count != 3 || decoded.Shard.Index != 1 {
+		t.Fatalf("shard metadata lost: %+v", decoded.Shard)
+	}
+	var second bytes.Buffer
+	if err := decoded.Encode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+func TestDecodeRejectsOtherSchemas(t *testing.T) {
+	if _, err := Decode([]byte(`{"schema":"wsync-bench/v2"}`)); err == nil {
+		t.Fatal("v2 accepted")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestZeroVolatile(t *testing.T) {
+	r := testReport("F1")
+	r.Parallelism = 4
+	r.EffectiveParallelism = 8
+	r.ZeroVolatile()
+	if r.Parallelism != 0 || r.EffectiveParallelism != 0 || r.Experiments[0].ElapsedMS != 0 {
+		t.Fatalf("volatile fields survived: %+v", r)
+	}
+	if r.Seed != 7 || r.Experiments[0].Table.ID != "F1" {
+		t.Fatal("non-volatile fields were touched")
+	}
+}
+
+func TestCostsFromReport(t *testing.T) {
+	r := testReport("F1", "T4")
+	r.Experiments[0].ElapsedMS = 0 // sub-millisecond experiment
+	r.Experiments = append(r.Experiments, Entry{Table: nil, ElapsedMS: 5})
+	costs := CostsFromReport(r)
+	if costs["F1"] != 1 {
+		t.Fatalf("F1 cost = %d, want clamp to 1", costs["F1"])
+	}
+	if costs["T4"] != 20 {
+		t.Fatalf("T4 cost = %d, want 20", costs["T4"])
+	}
+	if len(costs) != 2 {
+		t.Fatalf("costs = %v, want 2 entries", costs)
+	}
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Plan partitions a selection of experiment ids into k shards and
+// returns, for each shard, its assigned ids in selection order. The
+// partition is exact (every id lands in exactly one shard) and a pure
+// function of (ids, k, costs): every worker of a sharded run computes
+// the same plan from the shared flags and takes its own slice.
+//
+// Balancing is longest-processing-time greedy: points are weighted by
+// costs[id] (a prior run's elapsed_ms, see CostsFromReport) and
+// assigned heaviest-first to the least-loaded shard. Ids without a
+// positive cost estimate — including every id when costs is nil — get
+// the uniform fallback: the mean of the known estimates, or 1 when
+// there are none. With uniform costs the plan degenerates to
+// round-robin over the selection. Ties (equal costs, equal loads) break
+// by selection position and lowest shard index, so the plan never
+// depends on map iteration order.
+//
+// k must be at least 1; k larger than the selection leaves the excess
+// shards empty. A duplicate id is an error: the merge engine collapses
+// duplicate experiment ids, so a sharded run of a selection with
+// repeats could not reproduce the unsharded report.
+func Plan(ids []string, k int, costs map[string]int64) ([][]string, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: shard count %d, want at least 1", k)
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("shard: duplicate experiment %q in selection", id)
+		}
+		seen[id] = true
+	}
+
+	fallback := fallbackCost(ids, costs)
+	type point struct {
+		idx  int
+		cost int64
+	}
+	points := make([]point, len(ids))
+	for i, id := range ids {
+		c := costs[id]
+		if c < 1 {
+			c = fallback
+		}
+		points[i] = point{idx: i, cost: c}
+	}
+	// Stable sort: equal costs keep selection order, so the uniform case
+	// assigns round-robin and the plan is reproducible.
+	sort.SliceStable(points, func(i, j int) bool { return points[i].cost > points[j].cost })
+
+	loads := make([]int64, k)
+	assign := make([]int, len(ids))
+	for _, p := range points {
+		s := 0
+		for w := 1; w < k; w++ {
+			if loads[w] < loads[s] {
+				s = w
+			}
+		}
+		assign[p.idx] = s
+		loads[s] += p.cost
+	}
+
+	out := make([][]string, k)
+	for s := range out {
+		out[s] = []string{}
+	}
+	for i, id := range ids {
+		out[assign[i]] = append(out[assign[i]], id)
+	}
+	return out, nil
+}
+
+// fallbackCost is the uniform estimate for ids the costs map doesn't
+// cover: the mean of the known estimates over the selection, so a new
+// experiment is assumed average-sized rather than free, or 1 when no
+// estimates exist at all.
+func fallbackCost(ids []string, costs map[string]int64) int64 {
+	var sum, n int64
+	for _, id := range ids {
+		if c := costs[id]; c > 0 {
+			sum += c
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	f := sum / n
+	if f < 1 {
+		f = 1
+	}
+	return f
+}

@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanEdges is the table-driven edge grid: K=1, K equal to and
+// greater than the point count, the empty selection, and error cases.
+func TestPlanEdges(t *testing.T) {
+	ids := []string{"A", "B", "C"}
+	cases := []struct {
+		name  string
+		ids   []string
+		k     int
+		costs map[string]int64
+		want  [][]string
+		err   bool
+	}{
+		{
+			name: "K=1 is the identity partition",
+			ids:  ids, k: 1,
+			want: [][]string{{"A", "B", "C"}},
+		},
+		{
+			name: "uniform costs round-robin",
+			ids:  ids, k: 2,
+			want: [][]string{{"A", "C"}, {"B"}},
+		},
+		{
+			name: "K equal to point count",
+			ids:  ids, k: 3,
+			want: [][]string{{"A"}, {"B"}, {"C"}},
+		},
+		{
+			name: "K greater than point count leaves shards empty",
+			ids:  ids, k: 5,
+			want: [][]string{{"A"}, {"B"}, {"C"}, {}, {}},
+		},
+		{
+			name: "empty selection",
+			ids:  []string{}, k: 3,
+			want: [][]string{{}, {}, {}},
+		},
+		{
+			name: "nil selection",
+			ids:  nil, k: 2,
+			want: [][]string{{}, {}},
+		},
+		{
+			name: "heavy point isolated by LPT",
+			ids:  []string{"A", "B", "C", "D"}, k: 2,
+			costs: map[string]int64{"A": 100, "B": 1, "C": 1, "D": 1},
+			want:  [][]string{{"A"}, {"B", "C", "D"}},
+		},
+		{
+			name: "zero or missing costs fall back to the mean",
+			ids:  []string{"A", "B", "C"}, k: 3,
+			// A=30 known; B and C fall back to mean(30)=30: one each.
+			costs: map[string]int64{"A": 30, "B": 0},
+			want:  [][]string{{"A"}, {"B"}, {"C"}},
+		},
+		{
+			name: "K=0 rejected",
+			ids:  ids, k: 0, err: true,
+		},
+		{
+			name: "negative K rejected",
+			ids:  ids, k: -3, err: true,
+		},
+		{
+			name: "duplicate id rejected",
+			ids:  []string{"A", "B", "A"}, k: 2, err: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := Plan(c.ids, c.k, c.costs)
+			if c.err {
+				if err == nil {
+					t.Fatalf("Plan = %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("Plan = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestPlanStability pins the planner's determinism contract across K:
+// for every K the partition is exact (each id in exactly one shard, in
+// selection order), repeated invocations agree, and the assignment never
+// depends on map iteration order.
+func TestPlanStability(t *testing.T) {
+	ids := []string{"F1", "T1", "T4", "T10a", "T10b", "X7", "X8", "R1", "R2", "R3"}
+	costs := map[string]int64{"X7": 900, "T10a": 400, "R3": 250, "F1": 1, "T1": 40}
+	for k := 1; k <= len(ids)+2; k++ {
+		first, err := Plan(ids, k, costs)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if len(first) != k {
+			t.Fatalf("K=%d: %d shards", k, len(first))
+		}
+		// Exact cover, selection order preserved within each shard.
+		pos := map[string]int{}
+		for i, id := range ids {
+			pos[id] = i
+		}
+		seen := map[string]bool{}
+		for s, shardIDs := range first {
+			for i, id := range shardIDs {
+				if seen[id] {
+					t.Fatalf("K=%d: %s assigned twice", k, id)
+				}
+				seen[id] = true
+				if i > 0 && pos[shardIDs[i-1]] > pos[id] {
+					t.Fatalf("K=%d shard %d: order %v breaks selection order", k, s, shardIDs)
+				}
+			}
+		}
+		if len(seen) != len(ids) {
+			t.Fatalf("K=%d: covered %d of %d ids", k, len(seen), len(ids))
+		}
+		// Re-planning is bit-stable.
+		for trial := 0; trial < 5; trial++ {
+			again, err := Plan(ids, k, costs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("K=%d: plan unstable:\n%v\n%v", k, first, again)
+			}
+		}
+	}
+}
+
+// TestPlanBalance sanity-checks LPT quality: with cost estimates, no
+// shard carries more than the theoretical LPT bound of 4/3·OPT + max.
+func TestPlanBalance(t *testing.T) {
+	ids := make([]string, 20)
+	costs := map[string]int64{}
+	var total int64
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+		c := int64(10 + 97*i%311)
+		costs[ids[i]] = c
+		total += c
+	}
+	const k = 4
+	plan, err := Plan(ids, k, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxLoad int64
+	for _, shardIDs := range plan {
+		var load int64
+		for _, id := range shardIDs {
+			load += costs[id]
+		}
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	// Loose LPT bound: makespan ≤ total/k + max single cost.
+	var maxCost int64
+	for _, c := range costs {
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	if bound := total/k + maxCost; maxLoad > bound {
+		t.Fatalf("max load %d exceeds LPT bound %d (plan %v)", maxLoad, bound, plan)
+	}
+}
+
+func TestFallbackCost(t *testing.T) {
+	if got := fallbackCost([]string{"A", "B"}, nil); got != 1 {
+		t.Fatalf("no estimates: fallback = %d, want 1", got)
+	}
+	if got := fallbackCost([]string{"A", "B", "C"}, map[string]int64{"A": 10, "B": 20, "Z": 999}); got != 15 {
+		t.Fatalf("fallback = %d, want mean 15 over the selection only", got)
+	}
+}

@@ -503,6 +503,7 @@ func BenchmarkMultihopThroughput(b *testing.B) {
 		for _, m := range mediums {
 			m := m
 			b.Run(m.name+"/"+c.name, func(b *testing.B) {
+				b.ReportAllocs()
 				var nodeRounds uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -548,6 +549,7 @@ func BenchmarkRunnerScaling(b *testing.B) {
 	for _, par := range levels {
 		par := par
 		b.Run(benchName("workers", par), func(b *testing.B) {
+			b.ReportAllocs()
 			opt := harness.Options{Quick: true, Trials: 16, Seed: 1, Parallelism: par}
 			for i := 0; i < b.N; i++ {
 				if _, err := exp.Run(opt); err != nil {
@@ -613,6 +615,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		for _, m := range mediums {
 			m := m
 			b.Run(m.name+"/"+c.name, func(b *testing.B) {
+				b.ReportAllocs()
 				var nodeRounds uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"wsync/internal/benchdiff"
+	"wsync/internal/shard"
+)
+
+// runBenchdiff implements `wexp benchdiff [-threshold pct] [-min-ms ms]
+// old.json new.json`: it compares two wsync-bench/v1 artifacts experiment
+// by experiment on elapsed_ms and node_rounds_per_s and prints a
+// p50/p95-annotated delta table (docs/BENCH_FORMAT.md, "Comparing
+// artifacts: benchdiff"). Exit codes follow the wexp convention: 0 when
+// the new artifact is acceptable, 1 when any experiment regressed beyond
+// the threshold or is missing from the new artifact, 2 on usage or
+// decoding errors.
+func runBenchdiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wexp benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", benchdiff.DefaultThresholdPct,
+			"regression gate in percent: fail when elapsed_ms grows or node-rounds/s falls by more than this")
+		minMS = fs.Int64("min-ms", benchdiff.DefaultMinElapsedMS,
+			"noise floor in milliseconds: entries below it on both sides are reported but never gated")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "wexp benchdiff: need exactly two artifacts (usage: wexp benchdiff [-threshold pct] [-min-ms ms] old.json new.json)")
+		return 2
+	}
+	if *threshold <= 0 {
+		fmt.Fprintln(stderr, "wexp benchdiff: -threshold must be positive")
+		return 2
+	}
+
+	oldRep, err := shard.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp benchdiff: %v\n", err)
+		return 2
+	}
+	newRep, err := shard.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp benchdiff: %v\n", err)
+		return 2
+	}
+
+	opt := benchdiff.Options{ThresholdPct: *threshold, MinElapsedMS: *minMS}
+	res := benchdiff.Compare(oldRep, newRep, opt)
+	res.Format(stdout, opt)
+	if res.Failed() {
+		return 1
+	}
+	return 0
+}

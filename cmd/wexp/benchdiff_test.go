@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsync/internal/harness"
+	"wsync/internal/shard"
+)
+
+// writeArtifact encodes a minimal wsync-bench/v1 report to dir.
+func writeArtifact(t *testing.T, dir, name string, entries []shard.Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &shard.Report{Schema: shard.Schema, Experiments: entries}
+	if err := rep.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchEntry(id string, elapsedMS int64, nrs float64) shard.Entry {
+	return shard.Entry{
+		Table:            &harness.Table{ID: id, Columns: []string{"c"}, Rows: [][]string{{"v"}}},
+		ElapsedMS:        elapsedMS,
+		NodeRoundsPerSec: nrs,
+	}
+}
+
+// TestBenchdiffIdenticalExitsZero pins the pass path end to end: identical
+// artifacts exit 0 with an all-ok delta table.
+func TestBenchdiffIdenticalExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	entries := []shard.Entry{benchEntry("T1", 500, 1e6), benchEntry("X1", 900, 2e6)}
+	a := writeArtifact(t, dir, "a.json", entries)
+	b := writeArtifact(t, dir, "b.json", entries)
+	code, out, errOut := capture(t, []string{"benchdiff", a, b})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if strings.Contains(out, "REGRESSED") || strings.Contains(out, "MISSING") {
+		t.Fatalf("identical artifacts reported a problem:\n%s", out)
+	}
+}
+
+// TestBenchdiffRegressionExitsNonzero pins the gate end to end: a
+// synthetically regressed artifact exits non-zero and the output names
+// the offending experiment id.
+func TestBenchdiffRegressionExitsNonzero(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArtifact(t, dir, "old.json", []shard.Entry{benchEntry("T1", 500, 1e6), benchEntry("X1", 900, 2e6)})
+	b := writeArtifact(t, dir, "new.json", []shard.Entry{benchEntry("T1", 2000, 2.5e5), benchEntry("X1", 900, 2e6)})
+	code, out, _ := capture(t, []string{"benchdiff", a, b})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "T1") {
+		t.Fatalf("output does not name the regressed id:\n%s", out)
+	}
+}
+
+// TestBenchdiffMissingIDFails: an experiment dropping out of the sweep is
+// a failure, not a silent shrink.
+func TestBenchdiffMissingIDFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArtifact(t, dir, "old.json", []shard.Entry{benchEntry("T1", 500, 1e6), benchEntry("X1", 900, 2e6)})
+	b := writeArtifact(t, dir, "new.json", []shard.Entry{benchEntry("T1", 500, 1e6)})
+	code, out, _ := capture(t, []string{"benchdiff", a, b})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "X1") {
+		t.Fatalf("output does not name the missing id:\n%s", out)
+	}
+}
+
+// TestBenchdiffThresholdFlag: -threshold widens the gate.
+func TestBenchdiffThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArtifact(t, dir, "old.json", []shard.Entry{benchEntry("T1", 500, 1e6)})
+	b := writeArtifact(t, dir, "new.json", []shard.Entry{benchEntry("T1", 650, 1e6)}) // +30%
+	if code, out, _ := capture(t, []string{"benchdiff", "-threshold", "50", a, b}); code != 0 {
+		t.Fatalf("+30%% failed under -threshold 50: exit %d\n%s", code, out)
+	}
+	if code, _, _ := capture(t, []string{"benchdiff", "-threshold", "10", a, b}); code != 1 {
+		t.Fatalf("+30%% passed under -threshold 10: exit %d", code)
+	}
+}
+
+// TestBenchdiffUsageErrors pin exit code 2 for bad invocations.
+func TestBenchdiffUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArtifact(t, dir, "a.json", []shard.Entry{benchEntry("T1", 500, 1e6)})
+	for _, args := range [][]string{
+		{"benchdiff"},
+		{"benchdiff", a},
+		{"benchdiff", "-threshold", "-5", a, a},
+		{"benchdiff", a, filepath.Join(dir, "nope.json")},
+	} {
+		if code, _, _ := capture(t, args); code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+	}
+}

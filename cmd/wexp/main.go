@@ -14,6 +14,15 @@
 //	wexp -format csv -out dir/   # one CSV file per experiment
 //	wexp -json                   # one machine-readable report on stdout
 //	wexp -list                   # list experiment ids and exit
+//	wexp -cpuprofile cpu.pprof -memprofile mem.pprof -full
+//	                             # profile the run (go tool pprof reads the outputs)
+//
+// Artifact comparison (docs/BENCH_FORMAT.md, "Comparing artifacts:
+// benchdiff") diffs two -json reports experiment by experiment on wall
+// time and node-rounds/s, exiting non-zero on regressions past the
+// threshold — the CI bench-regression gate:
+//
+//	wexp benchdiff -threshold 30 -min-ms 100 old.json new.json
 //
 // Sharded sweeps (docs/BENCH_FORMAT.md, "Sharding") split the selection
 // across workers at experiment granularity and merge the artifacts back
@@ -29,10 +38,11 @@
 //
 // The -json report is the benchmark artifact CI uploads on every build:
 // it bundles the rendered tables with the options and per-experiment wall
-// times, so the performance trajectory of the runner is diffable across
-// commits. Results are bit-identical for a given (seed, trials, quick)
-// regardless of -parallel, and — after zeroing the volatile wall-time and
-// parallelism fields — regardless of how the run was sharded.
+// times and node-rounds throughput, so the performance trajectory of the
+// runner is diffable across commits. Results are bit-identical for a
+// given (seed, trials, quick) regardless of -parallel, and — after
+// zeroing the volatile wall-time, throughput, and parallelism fields —
+// regardless of how the run was sharded.
 package main
 
 import (
@@ -42,11 +52,15 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"wsync/internal/harness"
+	"wsync/internal/multihop"
+	"wsync/internal/rendezvous"
 	"wsync/internal/shard"
+	"wsync/internal/sim"
 )
 
 // reportSchema names the JSON layout; bump on incompatible changes so CI
@@ -59,9 +73,19 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// nodeRoundsTotal sums the per-engine node-round counters. Sampled before
+// and after each experiment, the delta is the experiment's deterministic
+// work measure; divided by wall time it yields node-rounds/s.
+func nodeRoundsTotal() uint64 {
+	return sim.TotalNodeRounds() + multihop.TotalNodeRounds() + rendezvous.TotalNodeRounds()
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "merge" {
 		return runMerge(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "benchdiff" {
+		return runBenchdiff(args[1:], stdout, stderr)
 	}
 
 	fs := flag.NewFlagSet("wexp", flag.ContinueOnError)
@@ -81,6 +105,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shardIdx  = fs.Int("shard-index", -1, "which shard of -shards to run, in [0, shards)")
 		dispatch  = fs.Int("dispatch", 0, "fork this many local shard subprocesses and merge their reports")
 		planCosts = fs.String("plan-costs", "", "prior wsync-bench/v1 report whose elapsed_ms values balance the shard partition")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write an end-of-run allocation profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -127,6 +153,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-5s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "wexp: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "wexp: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "wexp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocation stats before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(stderr, "wexp: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *dispatch > 0 {
@@ -239,6 +296,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	for _, e := range selected {
+		nrBefore := nodeRoundsTotal()
 		start := time.Now()
 		tbl, err := e.Run(opt)
 		if err != nil {
@@ -246,12 +304,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
+		// Experiments run serially, so the counter delta is exactly this
+		// experiment's work even though trials within it run in parallel.
+		nodeRounds := nodeRoundsTotal() - nrBefore
+		var nrPerSec float64
+		if s := time.Since(start).Seconds(); s > 0 {
+			nrPerSec = float64(nodeRounds) / s
+		}
 
 		if *format == "json" && *outDir == "" {
 			// Stdout JSON is one report for all experiments, emitted after
 			// the loop so the document stays a single valid value.
 			rep.Experiments = append(rep.Experiments, shard.Entry{
 				Table: tbl, ElapsedMS: elapsed.Milliseconds(),
+				NodeRounds: nodeRounds, NodeRoundsPerSec: nrPerSec,
 			})
 			continue
 		}

@@ -21,7 +21,7 @@ func runMerge(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		outPath      = fs.String("out", "", "write the merged report to this file instead of stdout")
-		zeroVolatile = fs.Bool("zero-volatile", false, "zero elapsed_ms and the parallelism fields, for byte comparison across runs")
+		zeroVolatile = fs.Bool("zero-volatile", false, "zero elapsed_ms, node_rounds_per_s, and the parallelism fields, for byte comparison across runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2

@@ -44,9 +44,10 @@ func (a *Fixed) Disrupt(uint64, *sim.History) *freqset.Set { return a.set }
 // oblivious adversary: its choices depend only on its seed, never on the
 // execution.
 type Random struct {
-	f, t int
-	r    *rng.Rand
-	set  *freqset.Set
+	f, t    int
+	r       *rng.Rand
+	set     *freqset.Set
+	scratch []int
 }
 
 var _ sim.Adversary = (*Random)(nil)
@@ -54,13 +55,15 @@ var _ sim.Adversary = (*Random)(nil)
 // NewRandom returns a Random adversary over [1..f] disrupting t frequencies
 // per round, driven by seed.
 func NewRandom(f, t int, seed uint64) *Random {
-	return &Random{f: f, t: t, r: rng.New(seed), set: freqset.New(f)}
+	return &Random{f: f, t: t, r: rng.New(seed), set: freqset.New(f), scratch: make([]int, 0, t)}
 }
 
-// Disrupt returns a fresh uniform t-subset.
+// Disrupt returns a fresh uniform t-subset. The sample buffer is reused
+// across rounds, so a steady-state Disrupt performs no heap allocation.
 func (a *Random) Disrupt(uint64, *sim.History) *freqset.Set {
 	a.set.Clear()
-	for _, idx := range a.r.SampleK(a.f, a.t) {
+	a.scratch = a.r.SampleKInto(a.f, a.t, a.scratch)
+	for _, idx := range a.scratch {
 		a.set.Add(idx + 1)
 	}
 	return a.set

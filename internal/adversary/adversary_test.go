@@ -35,6 +35,23 @@ func TestPrefix(t *testing.T) {
 	}
 }
 
+// TestRandomDisruptAllocs pins the reused sample buffer: after the first
+// draw, Disrupt performs no heap allocation. Random sits inside the
+// engines' zero-alloc round loop (TestSteadyStateAllocs in internal/sim
+// and internal/multihop), so a regression here breaks that contract too.
+func TestRandomDisruptAllocs(t *testing.T) {
+	a := NewRandom(16, 4, 7)
+	r := uint64(0)
+	a.Disrupt(1, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		r++
+		a.Disrupt(r, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("Disrupt allocates %.1f objects per round, want 0", allocs)
+	}
+}
+
 func TestPrefixZero(t *testing.T) {
 	if got := NewPrefix(8, 0).Disrupt(1, nil).Len(); got != 0 {
 		t.Fatalf("empty prefix has Len %d", got)

@@ -1,0 +1,239 @@
+// Package benchdiff compares two wsync-bench/v1 artifacts experiment by
+// experiment and decides whether the newer run regressed. It is the engine
+// behind `wexp benchdiff old.json new.json`, which CI runs against the
+// previous main-branch artifact on every push (docs/BENCH_FORMAT.md,
+// "Comparing artifacts: benchdiff").
+//
+// Two axes are compared per experiment id: wall time (elapsed_ms, higher is
+// worse) and throughput (node_rounds_per_s, lower is worse). Both are
+// volatile fields — the comparison is about the performance trajectory, not
+// the determinism contract — so benchdiff guards against noise with a
+// configurable relative threshold and an absolute wall-time floor below
+// which entries are informational only. Artifacts normalized by
+// `wexp merge -zero-volatile` have both axes zeroed; against such a base
+// every entry is ungated and the comparison degrades to the id-coverage
+// check, by design.
+package benchdiff
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"wsync/internal/shard"
+	"wsync/internal/stats"
+)
+
+// DefaultThresholdPct is the regression gate applied when Options leaves
+// ThresholdPct zero: an experiment regresses when it got more than 25%
+// slower on either axis.
+const DefaultThresholdPct = 25.0
+
+// DefaultMinElapsedMS is the noise floor applied when Options leaves
+// MinElapsedMS zero: entries whose wall time is below 20ms in both
+// artifacts carry too little signal to gate on.
+const DefaultMinElapsedMS = 20
+
+// Options configures a comparison.
+type Options struct {
+	// ThresholdPct is the relative regression gate in percent (0 means
+	// DefaultThresholdPct): an experiment regresses when elapsed_ms grew
+	// by more than this, or node_rounds_per_s fell by more than this.
+	ThresholdPct float64
+	// MinElapsedMS is the absolute noise floor in milliseconds (0 means
+	// DefaultMinElapsedMS): an axis is gated only when at least one side
+	// of the comparison spent that long. Sub-floor entries still appear
+	// in the delta table, marked ungated.
+	MinElapsedMS int64
+}
+
+func (o Options) thresholdPct() float64 {
+	if o.ThresholdPct == 0 {
+		return DefaultThresholdPct
+	}
+	return o.ThresholdPct
+}
+
+func (o Options) minElapsedMS() int64 {
+	if o.MinElapsedMS == 0 {
+		return DefaultMinElapsedMS
+	}
+	return o.MinElapsedMS
+}
+
+// Delta is one experiment's comparison across the two artifacts.
+type Delta struct {
+	ID string
+
+	OldElapsedMS int64
+	NewElapsedMS int64
+	// ElapsedPct is the relative wall-time change in percent; positive
+	// means the new run is slower. Meaningful only when ElapsedGated.
+	ElapsedPct float64
+	// ElapsedGated reports whether the wall-time axis was eligible for
+	// gating: the old value is nonzero and at least one side reached the
+	// noise floor.
+	ElapsedGated bool
+
+	OldNodeRoundsPerSec float64
+	NewNodeRoundsPerSec float64
+	// ThroughputPct is the relative node-rounds/s change in percent;
+	// negative means the new run is slower. Meaningful only when
+	// ThroughputGated.
+	ThroughputPct float64
+	// ThroughputGated reports whether the throughput axis was eligible
+	// for gating: both values are nonzero and the entry reached the
+	// noise floor.
+	ThroughputGated bool
+
+	// Regressed is true when a gated axis moved past the threshold in
+	// the slow direction.
+	Regressed bool
+}
+
+// Result is the outcome of a Compare.
+type Result struct {
+	Deltas []Delta
+	// Missing lists ids present in the old artifact but absent from the
+	// new one, in the old artifact's order. A missing id is a failure:
+	// an experiment silently dropping out of the sweep is exactly the
+	// kind of coverage loss the comparison exists to catch.
+	Missing []string
+	// Extra lists ids present only in the new artifact, in its order.
+	// Extras are reported but not a failure — a growing sweep is fine.
+	Extra []string
+}
+
+// Regressions returns the ids of regressed experiments, in table order.
+func (r *Result) Regressions() []string {
+	var ids []string
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			ids = append(ids, d.ID)
+		}
+	}
+	return ids
+}
+
+// Failed reports whether the comparison should gate a build: any
+// regressed experiment or any missing id.
+func (r *Result) Failed() bool {
+	return len(r.Missing) > 0 || len(r.Regressions()) > 0
+}
+
+// Compare diffs two decoded artifacts under the given options. Entries are
+// matched by table id; the delta table follows the old artifact's
+// experiment order. Entries without a table are ignored on both sides
+// (shard.Merge rejects them anyway).
+func Compare(oldRep, newRep *shard.Report, opt Options) *Result {
+	threshold := opt.thresholdPct()
+	floor := opt.minElapsedMS()
+
+	newByID := make(map[string]shard.Entry)
+	var newOrder []string
+	for _, e := range newRep.Experiments {
+		if e.Table == nil {
+			continue
+		}
+		if _, dup := newByID[e.Table.ID]; !dup {
+			newByID[e.Table.ID] = e
+			newOrder = append(newOrder, e.Table.ID)
+		}
+	}
+
+	res := &Result{}
+	seen := make(map[string]bool)
+	for _, oe := range oldRep.Experiments {
+		if oe.Table == nil {
+			continue
+		}
+		id := oe.Table.ID
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		ne, ok := newByID[id]
+		if !ok {
+			res.Missing = append(res.Missing, id)
+			continue
+		}
+
+		d := Delta{
+			ID:                  id,
+			OldElapsedMS:        oe.ElapsedMS,
+			NewElapsedMS:        ne.ElapsedMS,
+			OldNodeRoundsPerSec: oe.NodeRoundsPerSec,
+			NewNodeRoundsPerSec: ne.NodeRoundsPerSec,
+		}
+		atFloor := oe.ElapsedMS >= floor || ne.ElapsedMS >= floor
+		if oe.ElapsedMS > 0 && atFloor {
+			d.ElapsedGated = true
+			d.ElapsedPct = 100 * float64(ne.ElapsedMS-oe.ElapsedMS) / float64(oe.ElapsedMS)
+		}
+		if oe.NodeRoundsPerSec > 0 && ne.NodeRoundsPerSec > 0 && atFloor {
+			d.ThroughputGated = true
+			d.ThroughputPct = 100 * (ne.NodeRoundsPerSec - oe.NodeRoundsPerSec) / oe.NodeRoundsPerSec
+		}
+		d.Regressed = (d.ElapsedGated && d.ElapsedPct > threshold) ||
+			(d.ThroughputGated && d.ThroughputPct < -threshold)
+		res.Deltas = append(res.Deltas, d)
+	}
+	for _, id := range newOrder {
+		if !seen[id] {
+			res.Extra = append(res.Extra, id)
+		}
+	}
+	return res
+}
+
+// Format renders the delta table: one row per compared experiment, a
+// summary line annotating the delta distributions with p50/p95 (via
+// stats.Summarize), and the missing/extra/regression report. The verdict
+// column distinguishes ok, REGRESSED, and "-" (no gated axis).
+func (r *Result) Format(w io.Writer, opt Options) {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "id\told_ms\tnew_ms\tΔms\told_nr/s\tnew_nr/s\tΔnr/s\tverdict")
+	var elapsedPcts, nrsPcts []float64
+	for _, d := range r.Deltas {
+		ems, nrs := "-", "-"
+		if d.ElapsedGated {
+			ems = fmt.Sprintf("%+.1f%%", d.ElapsedPct)
+			elapsedPcts = append(elapsedPcts, d.ElapsedPct)
+		}
+		if d.ThroughputGated {
+			nrs = fmt.Sprintf("%+.1f%%", d.ThroughputPct)
+			nrsPcts = append(nrsPcts, d.ThroughputPct)
+		}
+		verdict := "-"
+		switch {
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case d.ElapsedGated || d.ThroughputGated:
+			verdict = "ok"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.3g\t%.3g\t%s\t%s\n",
+			d.ID, d.OldElapsedMS, d.NewElapsedMS, ems,
+			d.OldNodeRoundsPerSec, d.NewNodeRoundsPerSec, nrs, verdict)
+	}
+	tw.Flush()
+
+	if s := stats.Summarize(elapsedPcts); s.N > 0 {
+		fmt.Fprintf(w, "elapsed Δ: p50 %+.1f%%, p95 %+.1f%% over %d gated experiments\n", s.Median, s.P95, s.N)
+	}
+	if s := stats.Summarize(nrsPcts); s.N > 0 {
+		fmt.Fprintf(w, "node-rounds/s Δ: p50 %+.1f%%, p95 %+.1f%% over %d gated experiments\n", s.Median, s.P95, s.N)
+	}
+	if len(elapsedPcts) == 0 && len(nrsPcts) == 0 {
+		fmt.Fprintln(w, "no gated axes (volatile fields zeroed or below the noise floor); id coverage checked only")
+	}
+
+	if len(r.Extra) > 0 {
+		fmt.Fprintf(w, "extra in new artifact (not gated): %v\n", r.Extra)
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(w, "MISSING from new artifact: %v\n", r.Missing)
+	}
+	if reg := r.Regressions(); len(reg) > 0 {
+		fmt.Fprintf(w, "REGRESSED beyond %.0f%%: %v\n", opt.thresholdPct(), reg)
+	}
+}

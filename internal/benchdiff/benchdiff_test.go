@@ -1,0 +1,140 @@
+package benchdiff
+
+import (
+	"strings"
+	"testing"
+
+	"wsync/internal/harness"
+	"wsync/internal/shard"
+)
+
+// report builds a minimal wsync-bench/v1 artifact with one entry per
+// (id, elapsed_ms, node_rounds_per_s) triple.
+func report(entries ...shard.Entry) *shard.Report {
+	return &shard.Report{Schema: shard.Schema, Experiments: entries}
+}
+
+func entry(id string, elapsedMS int64, nrs float64) shard.Entry {
+	return shard.Entry{
+		Table:            &harness.Table{ID: id, Columns: []string{"c"}, Rows: [][]string{{"v"}}},
+		ElapsedMS:        elapsedMS,
+		NodeRoundsPerSec: nrs,
+	}
+}
+
+func TestIdenticalArtifactsPass(t *testing.T) {
+	old := report(entry("T1", 500, 1e6), entry("X1", 900, 2e6))
+	res := Compare(old, report(entry("T1", 500, 1e6), entry("X1", 900, 2e6)), Options{})
+	if res.Failed() {
+		t.Fatalf("identical artifacts failed: regressions %v, missing %v", res.Regressions(), res.Missing)
+	}
+	if len(res.Missing) != 0 || len(res.Extra) != 0 {
+		t.Fatalf("missing %v, extra %v on identical inputs", res.Missing, res.Extra)
+	}
+	for _, d := range res.Deltas {
+		if d.ElapsedPct != 0 || d.ThroughputPct != 0 {
+			t.Errorf("%s: nonzero delta on identical inputs: %+v", d.ID, d)
+		}
+	}
+}
+
+// TestInjectedRegressionFails pins the core gate: a synthetic 2x slowdown
+// on one experiment must fail the comparison and name exactly that id.
+func TestInjectedRegressionFails(t *testing.T) {
+	old := report(entry("T1", 500, 1e6), entry("X1", 900, 2e6))
+	regressed := report(entry("T1", 1000, 5e5), entry("X1", 900, 2e6))
+	res := Compare(old, regressed, Options{})
+	if !res.Failed() {
+		t.Fatal("2x slowdown not flagged")
+	}
+	if got := res.Regressions(); len(got) != 1 || got[0] != "T1" {
+		t.Fatalf("regressions = %v, want [T1]", got)
+	}
+}
+
+// TestThroughputOnlyRegression: node-rounds/s collapsing flags even when
+// elapsed stays within threshold (the experiment might have silently done
+// less work per unit time while its wall clock moved little).
+func TestThroughputOnlyRegression(t *testing.T) {
+	old := report(entry("T4", 500, 1e6))
+	res := Compare(old, report(entry("T4", 520, 5e5)), Options{})
+	if got := res.Regressions(); len(got) != 1 || got[0] != "T4" {
+		t.Fatalf("regressions = %v, want [T4]", got)
+	}
+}
+
+func TestThresholdConfigurable(t *testing.T) {
+	old := report(entry("T1", 500, 1e6))
+	mild := report(entry("T1", 650, 1e6)) // +30%
+	if res := Compare(old, mild, Options{ThresholdPct: 50}); res.Failed() {
+		t.Errorf("+30%% failed under a 50%% threshold: %v", res.Regressions())
+	}
+	if res := Compare(old, mild, Options{ThresholdPct: 10}); !res.Failed() {
+		t.Error("+30% passed under a 10% threshold")
+	}
+}
+
+// TestNoiseFloor: entries below the wall-time floor on both sides are
+// never gated, however large the relative change.
+func TestNoiseFloor(t *testing.T) {
+	old := report(entry("F1", 2, 1e6))
+	res := Compare(old, report(entry("F1", 8, 1e5)), Options{MinElapsedMS: 20})
+	if res.Failed() {
+		t.Fatalf("sub-floor entry gated: %v", res.Regressions())
+	}
+	if d := res.Deltas[0]; d.ElapsedGated || d.ThroughputGated {
+		t.Errorf("sub-floor entry marked gated: %+v", d)
+	}
+}
+
+// TestZeroedBaseDegradesToCoverage: against a -zero-volatile artifact both
+// axes are zero, so nothing is gated but id coverage is still enforced.
+func TestZeroedBaseDegradesToCoverage(t *testing.T) {
+	zeroed := report(entry("T1", 0, 0), entry("X1", 0, 0))
+	fresh := report(entry("T1", 99999, 1), entry("X1", 10, 1e6))
+	if res := Compare(zeroed, fresh, Options{}); res.Failed() {
+		t.Fatalf("zeroed base gated: regressions %v, missing %v", res.Regressions(), res.Missing)
+	}
+	missingOne := report(entry("T1", 99999, 1))
+	res := Compare(zeroed, missingOne, Options{})
+	if !res.Failed() || len(res.Missing) != 1 || res.Missing[0] != "X1" {
+		t.Fatalf("missing id not caught against zeroed base: %+v", res)
+	}
+}
+
+// TestMissingAndExtraIDs: ids dropping out fail; ids appearing are
+// reported but pass.
+func TestMissingAndExtraIDs(t *testing.T) {
+	old := report(entry("T1", 500, 1e6), entry("X1", 900, 2e6))
+	res := Compare(old, report(entry("T1", 500, 1e6), entry("R9", 100, 1e6)), Options{})
+	if len(res.Missing) != 1 || res.Missing[0] != "X1" {
+		t.Fatalf("missing = %v, want [X1]", res.Missing)
+	}
+	if len(res.Extra) != 1 || res.Extra[0] != "R9" {
+		t.Fatalf("extra = %v, want [R9]", res.Extra)
+	}
+	if !res.Failed() {
+		t.Fatal("missing id did not fail the comparison")
+	}
+	onlyExtra := Compare(report(entry("T1", 500, 1e6)), report(entry("T1", 500, 1e6), entry("R9", 1, 1)), Options{})
+	if onlyExtra.Failed() {
+		t.Fatal("extra-only artifact failed")
+	}
+}
+
+// TestFormatNamesRegression pins the human-readable report: the offending
+// id appears on a REGRESSED row and in the final regression line, and the
+// p50/p95 summary renders.
+func TestFormatNamesRegression(t *testing.T) {
+	old := report(entry("T1", 500, 1e6), entry("X1", 900, 2e6))
+	res := Compare(old, report(entry("T1", 1200, 4e5), entry("X1", 900, 2e6)), Options{})
+	var sb strings.Builder
+	res.Format(&sb, Options{})
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "T1") {
+		t.Errorf("report does not name the regression:\n%s", out)
+	}
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "p95") {
+		t.Errorf("report missing p50/p95 summary:\n%s", out)
+	}
+}

@@ -1,7 +1,5 @@
 package medium
 
-import "sort"
-
 // Graph is the read-only topology view the resolver resolves receptions
 // against: an undirected communication graph over dense node indices
 // 0..N-1. Implementations must list each node's neighbors in ascending
@@ -158,11 +156,37 @@ func (r *Resolver) Listen(i int) {
 // node) order. Valid until Reset.
 func (r *Resolver) Listeners() []int { return r.listeners }
 
-// TouchedAscending sorts and returns the frequencies at least one node
-// transmitted on this round, in ascending order — matching the legacy scan
-// resolvers' [1..F] sweep order bit for bit. Valid until Reset.
+// TouchedAscending returns the frequencies at least one node transmitted
+// on this round, in ascending order — matching the legacy scan resolvers'
+// [1..F] sweep order bit for bit. Valid until Reset.
+//
+// Sparse rounds (few distinct frequencies) insertion-sort the touched list
+// in place; dense rounds batch the pass instead, rebuilding the list by a
+// single branch-predictable sweep of the count array, which is cheaper
+// than comparison sorting once a meaningful fraction of the band is in
+// play. Both paths are allocation-free and produce the identical list.
 func (r *Resolver) TouchedAscending() []int {
-	sort.Ints(r.touched)
+	m := len(r.touched)
+	if m < 2 {
+		return r.touched
+	}
+	if m >= r.f/8 {
+		// Dense: r.touched holds exactly the frequencies with a nonzero
+		// count, so sweeping [1..F] for nonzero counts rebuilds the same
+		// set already ordered.
+		r.touched = r.touched[:0]
+		for f := 1; f <= r.f; f++ {
+			if r.txCount[f] != 0 {
+				r.touched = append(r.touched, f)
+			}
+		}
+		return r.touched
+	}
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && r.touched[j-1] > r.touched[j]; j-- {
+			r.touched[j-1], r.touched[j] = r.touched[j], r.touched[j-1]
+		}
+	}
 	return r.touched
 }
 

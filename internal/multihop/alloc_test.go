@@ -1,0 +1,74 @@
+package multihop
+
+import (
+	"testing"
+
+	"wsync/internal/adversary"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// allocAgent transmits with probability 1/2 on a random frequency and
+// never syncs, so driven rounds exercise the step, resolve, relay-deliver,
+// and sync-check paths indefinitely without allocating on its own account.
+type allocAgent struct {
+	r     *rng.Rand
+	f     int
+	heard uint64
+}
+
+func (a *allocAgent) Step(local uint64) sim.Action {
+	act := sim.Action{Freq: a.r.IntRange(1, a.f)}
+	if a.r.Bool() {
+		act.Transmit = true
+		act.Msg = msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: local}}
+	}
+	return act
+}
+
+func (a *allocAgent) Deliver(msg.Message) { a.heard++ }
+func (a *allocAgent) Output() sim.Output  { return sim.Output{} }
+
+// TestSteadyStateAllocs drives the multi-hop round loop past warm-up on
+// both medium paths and requires exactly zero allocations per round — the
+// multi-hop half of the zero-alloc hot-path contract (the single-hop half
+// lives in internal/sim). Unlike sim's test this one can use the real
+// adversary package (no import cycle from here).
+func TestSteadyStateAllocs(t *testing.T) {
+	for _, path := range []struct {
+		name string
+		m    sim.MediumPath
+	}{{"indexed", sim.MediumIndexed}, {"scan", sim.MediumScan}} {
+		t.Run(path.name, func(t *testing.T) {
+			const f, jam = 16, 4
+			cfg := &Config{
+				F:        f,
+				T:        jam,
+				Seed:     7,
+				Topology: Grid(8, 8),
+				NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+					return &allocAgent{r: r, f: f}
+				},
+				Adversary: adversary.NewRandom(f, jam, 99),
+				RunToMax:  true,
+				Medium:    path.m,
+			}
+			e, err := newEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := uint64(0)
+			for ; r < 64; r++ {
+				e.runRound(r + 1)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				r++
+				e.runRound(r)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state round allocates %.1f objects, want 0", allocs)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package multihop
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"wsync/internal/freqset"
 	"wsync/internal/medium"
@@ -10,6 +11,16 @@ import (
 	"wsync/internal/rng"
 	"wsync/internal/sim"
 )
+
+// totalNodeRounds accumulates active node-rounds over every completed
+// multi-hop run in this process; wexp samples TotalNodeRounds around each
+// experiment to derive the node-rounds/s figure in the benchmark report.
+var totalNodeRounds atomic.Uint64
+
+// TotalNodeRounds returns the process-wide count of active node-rounds
+// executed by completed multi-hop runs. Deterministic for a deterministic
+// workload — it never depends on scheduling or parallelism.
+func TotalNodeRounds() uint64 { return totalNodeRounds.Load() }
 
 // Config describes one multi-hop simulation. It reuses the single-hop
 // model's agents, schedules, and adversaries; only medium resolution
@@ -92,7 +103,15 @@ type engine struct {
 	activation []uint64
 	agentRNG   []*rng.Rand
 	active     []bool
-	actions    []sim.Action
+
+	// Per-node action state in struct-of-arrays layout, mirroring the
+	// single-hop engine: reception resolution touches only the packed
+	// frequency and transmit-flag arrays, and message payloads are copied
+	// only for transmitters (stale actMsg entries are never read — relay
+	// delivery consults them only for this round's transmitters).
+	actFreq []int32
+	actTx   []bool
+	actMsg  []msg.Message
 
 	act *medium.Activation
 	med *medium.Resolver
@@ -123,7 +142,9 @@ func newEngine(c *Config) (*engine, error) {
 		activation: make([]uint64, n),
 		agentRNG:   make([]*rng.Rand, n),
 		active:     make([]bool, n),
-		actions:    make([]sim.Action, n),
+		actFreq:    make([]int32, n),
+		actTx:      make([]bool, n),
+		actMsg:     make([]msg.Message, n),
 		pending:    make([]msg.Message, n),
 		hasPending: make([]bool, n),
 		hist:       &sim.History{F: c.F, Activated: make([]uint64, n), Received: make([]bool, n)},
@@ -164,7 +185,7 @@ func (e *engine) disruptedSet(r uint64) *freqset.Set {
 // queueDelivery records listener i's clean reception of node from's
 // transmission.
 func (e *engine) queueDelivery(i, from int) {
-	e.pending[i] = e.actions[from].Msg
+	e.pending[i] = e.actMsg[from]
 	e.hasPending[i] = true
 	e.pendingList = append(e.pendingList, i)
 	e.hist.Received[i] = true
@@ -176,14 +197,14 @@ func (e *engine) queueDelivery(i, from int) {
 // verbatim as the differential-testing oracle for the indexed path.
 func (e *engine) resolveScan(disrupted *freqset.Set) {
 	for i := 0; i < e.n; i++ {
-		if !e.active[i] || e.actions[i].Transmit {
+		if !e.active[i] || e.actTx[i] {
 			continue
 		}
-		f := e.actions[i].Freq
+		f := int(e.actFreq[i])
 		txNeighbor := -1
 		txCount := 0
 		for _, w := range e.topo.Neighbors(i) {
-			if e.active[w] && e.actions[w].Transmit && e.actions[w].Freq == f {
+			if e.active[w] && e.actTx[w] && int(e.actFreq[w]) == f {
 				txCount++
 				txNeighbor = w
 			}
@@ -208,14 +229,14 @@ func (e *engine) resolveScan(disrupted *freqset.Set) {
 func (e *engine) resolveIndexed(disrupted *freqset.Set) {
 	med := e.med
 	for _, i := range e.act.Active() {
-		if e.actions[i].Transmit {
-			med.Transmit(i, e.actions[i].Freq)
+		if e.actTx[i] {
+			med.Transmit(i, int(e.actFreq[i]))
 		} else {
 			med.Listen(i)
 		}
 	}
 	for _, i := range med.Listeners() {
-		f := e.actions[i].Freq
+		f := int(e.actFreq[i])
 		from, count := med.Receive(i, f)
 		switch {
 		case count == 0:
@@ -228,6 +249,65 @@ func (e *engine) resolveIndexed(disrupted *freqset.Set) {
 		}
 	}
 	med.Reset()
+}
+
+// runRound executes one round end to end — activation, the adversary,
+// agent steps, reception resolution, deliveries, and sync bookkeeping —
+// and reports whether the run should stop. After warm-up a round performs
+// zero heap allocations; TestSteadyStateAllocs pins this.
+func (e *engine) runRound(r uint64) (stop bool) {
+	c := e.cfg
+	res := e.res
+	for _, i := range e.act.Wake(r) {
+		e.active[i] = true
+		e.agents[i] = c.NewAgent(sim.NodeID(i), r, e.agentRNG[i])
+		e.hist.Activated[i] = r
+		e.activatedCount++
+	}
+	disrupted := e.disruptedSet(r)
+	for _, i := range e.act.Active() {
+		a := e.agents[i].Step(r - e.activation[i] + 1)
+		if a.Freq < 1 || a.Freq > c.F {
+			panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, a.Freq))
+		}
+		e.actFreq[i] = int32(a.Freq)
+		e.actTx[i] = a.Transmit
+		if a.Transmit {
+			e.actMsg[i] = a.Msg
+		}
+	}
+	res.NodeRounds += uint64(len(e.act.Active()))
+
+	// Only nodes on pendingList can have hasPending set, so clearing
+	// them is equivalent to the legacy full sweep over all N.
+	for _, i := range e.pendingList {
+		e.hasPending[i] = false
+	}
+	e.pendingList = e.pendingList[:0]
+
+	if c.Medium == sim.MediumScan {
+		e.resolveScan(disrupted)
+	} else {
+		e.resolveIndexed(disrupted)
+	}
+
+	for _, i := range e.pendingList {
+		e.agents[i].Deliver(e.pending[i])
+	}
+	for _, i := range e.act.Active() {
+		if res.SyncRound[i] == 0 {
+			if out := e.agents[i].Output(); out.Synced {
+				res.SyncRound[i] = r
+				e.synced++
+			}
+		}
+	}
+	e.hist.Completed = r
+	res.Rounds = r
+	if c.StopWhen != nil && c.StopWhen(r) {
+		return true
+	}
+	return !c.RunToMax && e.activatedCount == e.n && e.synced == e.n
 }
 
 // Run executes the simulation. Semantics per round: every active node
@@ -246,51 +326,7 @@ func Run(c *Config) (*Result, error) {
 	res := e.res
 
 	for r := uint64(1); r <= maxRounds; r++ {
-		for _, i := range e.act.Wake(r) {
-			e.active[i] = true
-			e.agents[i] = c.NewAgent(sim.NodeID(i), r, e.agentRNG[i])
-			e.hist.Activated[i] = r
-			e.activatedCount++
-		}
-		disrupted := e.disruptedSet(r)
-		for _, i := range e.act.Active() {
-			e.actions[i] = e.agents[i].Step(r - e.activation[i] + 1)
-			if e.actions[i].Freq < 1 || e.actions[i].Freq > c.F {
-				panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, e.actions[i].Freq))
-			}
-		}
-		res.NodeRounds += uint64(len(e.act.Active()))
-
-		// Only nodes on pendingList can have hasPending set, so clearing
-		// them is equivalent to the legacy full sweep over all N.
-		for _, i := range e.pendingList {
-			e.hasPending[i] = false
-		}
-		e.pendingList = e.pendingList[:0]
-
-		if c.Medium == sim.MediumScan {
-			e.resolveScan(disrupted)
-		} else {
-			e.resolveIndexed(disrupted)
-		}
-
-		for _, i := range e.pendingList {
-			e.agents[i].Deliver(e.pending[i])
-		}
-		for _, i := range e.act.Active() {
-			if res.SyncRound[i] == 0 {
-				if out := e.agents[i].Output(); out.Synced {
-					res.SyncRound[i] = r
-					e.synced++
-				}
-			}
-		}
-		e.hist.Completed = r
-		res.Rounds = r
-		if c.StopWhen != nil && c.StopWhen(r) {
-			break
-		}
-		if !c.RunToMax && e.activatedCount == e.n && e.synced == e.n {
+		if e.runRound(r) {
 			break
 		}
 	}
@@ -303,5 +339,6 @@ func Run(c *Config) (*Result, error) {
 			}
 		}
 	}
+	totalNodeRounds.Add(res.NodeRounds)
 	return res, nil
 }

@@ -2,11 +2,22 @@ package rendezvous
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wsync/internal/freqset"
 	"wsync/internal/medium"
 	"wsync/internal/rng"
 )
+
+// totalNodeRounds accumulates awake party-rounds over every completed game
+// in this process; wexp samples TotalNodeRounds around each experiment to
+// derive the node-rounds/s figure in the benchmark report.
+var totalNodeRounds atomic.Uint64
+
+// TotalNodeRounds returns the process-wide count of awake party-rounds
+// executed by completed games. Deterministic for a deterministic workload —
+// it never depends on scheduling or parallelism.
+func TotalNodeRounds() uint64 { return totalNodeRounds.Load() }
 
 // Party configures one participant of the game.
 type Party struct {
@@ -243,5 +254,6 @@ func Run(cfg *Config) (*Result, error) {
 		copy(prev, cur)
 		rd.Last = prev
 	}
+	totalNodeRounds.Add(out.NodeRounds)
 	return out, nil
 }

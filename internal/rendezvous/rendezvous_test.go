@@ -381,6 +381,7 @@ func BenchmarkRendezvousThroughput(b *testing.B) {
 		{"greedy", func() Jammer { return NewGreedy(16, 4) }},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
 			nodeRounds := uint64(0)
 			for i := 0; i < b.N; i++ {
 				parties := make([]Party, 8)

@@ -133,18 +133,33 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 // SampleK returns k distinct uniform values from [0, n) in increasing order.
 // It panics if k > n or k < 0.
 func (r *Rand) SampleK(n, k int) []int {
+	return r.SampleKInto(n, k, nil)
+}
+
+// SampleKInto is SampleK reusing dst's backing storage (growing it when
+// needed), so a caller drawing a sample every round allocates only once.
+// The draws, and therefore the generator stream consumed, are identical to
+// SampleK's: duplicate detection by linear scan over the chosen values
+// answers exactly the membership queries the historical map answered.
+func (r *Rand) SampleKInto(n, k int, dst []int) []int {
 	if k < 0 || k > n {
 		panic("rng: SampleK called with k out of range")
 	}
-	// Floyd's algorithm: O(k) expected time, no O(n) allocation.
-	chosen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	// Floyd's algorithm: O(k²) worst case with the scan, but k is small in
+	// all our uses and the constant beats a map rebuilt per call.
+	out := dst[:0]
 	for j := n - k; j < n; j++ {
 		v := r.Intn(j + 1)
-		if _, dup := chosen[v]; dup {
+		dup := false
+		for _, c := range out {
+			if c == v {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			v = j
 		}
-		chosen[v] = struct{}{}
 		out = append(out, v)
 	}
 	// Insertion sort; k is small in all our uses.

@@ -17,8 +17,9 @@ import (
 //     quick, and full; any disagreement means the artifacts came from
 //     different sweeps and the merge is rejected.
 //   - Experiments are keyed by table id. Duplicate ids whose tables are
-//     byte-identical collapse to one entry (the first occurrence's
-//     elapsed_ms wins); duplicate ids with differing tables are
+//     byte-identical and whose node_rounds agree collapse to one entry
+//     (the first occurrence's volatile elapsed_ms and node_rounds_per_s
+//     win); duplicate ids with differing tables or node_rounds are
 //     rejected.
 //   - elapsed_ms values are preserved per shard, never summed: wall
 //     times from different machines are not comparable.
@@ -69,6 +70,11 @@ func Merge(reps []*Report) (*Report, error) {
 			}
 			if !same {
 				return nil, fmt.Errorf("shard: experiment %s: conflicting tables across reports (envelope mismatch upstream?)", id)
+			}
+			// node_rounds is deterministic, so duplicates of the same sweep
+			// must agree on it exactly as they do on the table bytes.
+			if prev.NodeRounds != e.NodeRounds {
+				return nil, fmt.Errorf("shard: experiment %s: conflicting node_rounds across reports (%d vs %d)", id, prev.NodeRounds, e.NodeRounds)
 			}
 		}
 	}

@@ -33,10 +33,16 @@ type Report struct {
 	Experiments []Entry `json:"experiments"`
 }
 
-// Entry pairs one experiment's table with its wall time.
+// Entry pairs one experiment's table with its wall time and throughput.
+// node_rounds is the number of active node-rounds the experiment's
+// simulations executed — a deterministic function of the sweep identity,
+// inside the determinism contract. node_rounds_per_s derives from the wall
+// time and is volatile, like elapsed_ms.
 type Entry struct {
-	Table     *harness.Table `json:"table"`
-	ElapsedMS int64          `json:"elapsed_ms"`
+	Table            *harness.Table `json:"table"`
+	ElapsedMS        int64          `json:"elapsed_ms"`
+	NodeRounds       uint64         `json:"node_rounds"`
+	NodeRoundsPerSec float64        `json:"node_rounds_per_s"`
 }
 
 // Meta stamps a shard artifact with its place in the partition: which
@@ -86,15 +92,17 @@ func (r *Report) Encode(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// ZeroVolatile zeroes the three fields docs/BENCH_FORMAT.md documents as
-// outside the determinism contract — elapsed_ms, parallelism, and
-// effective_parallelism — leaving a pure function of (schema, seed,
-// trials, tier, experiment set) suitable for byte comparison.
+// ZeroVolatile zeroes the fields docs/BENCH_FORMAT.md documents as
+// outside the determinism contract — elapsed_ms, node_rounds_per_s,
+// parallelism, and effective_parallelism — leaving a pure function of
+// (schema, seed, trials, tier, experiment set) suitable for byte
+// comparison. node_rounds is deterministic and survives.
 func (r *Report) ZeroVolatile() {
 	r.Parallelism = 0
 	r.EffectiveParallelism = 0
 	for i := range r.Experiments {
 		r.Experiments[i].ElapsedMS = 0
+		r.Experiments[i].NodeRoundsPerSec = 0
 	}
 }
 

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"wsync/internal/freqset"
+	"wsync/internal/msg"
+	"wsync/internal/rng"
+)
+
+// alloc_test.go pins the tentpole property of the engine's hot path: a
+// steady-state round — after every node has activated and every reusable
+// buffer has grown to its working size — performs zero heap allocations.
+// The test is white-box (package sim) because the unit under test is
+// engine.runRound, not the public Run wrapper; it cannot use package
+// adversary (which imports sim), so it carries a local random jammer
+// mirroring adversary.Random.
+
+// allocJammer is adversary.Random re-implemented without the import
+// cycle: a fresh uniform t-subset per round, drawn allocation-free via
+// rng.SampleKInto into a reused scratch buffer.
+type allocJammer struct {
+	f, t    int
+	r       *rng.Rand
+	set     *freqset.Set
+	scratch []int
+}
+
+func (a *allocJammer) Disrupt(uint64, *History) *freqset.Set {
+	a.set.Clear()
+	a.scratch = a.r.SampleKInto(a.f, a.t, a.scratch)
+	for _, idx := range a.scratch {
+		a.set.Add(idx + 1)
+	}
+	return a.set
+}
+
+// steadyAgent transmits with probability 1/2 on a random frequency and
+// never syncs, so a driven round exercises the step, resolve, deliver,
+// and output-recording paths indefinitely. Its message carries no slices
+// — payload-bearing protocols own their buffers; the engine's obligation
+// is only to not allocate on its own account.
+type steadyAgent struct {
+	r     *rng.Rand
+	f     int
+	heard uint64
+}
+
+func (a *steadyAgent) Step(local uint64) Action {
+	act := Action{Freq: a.r.IntRange(1, a.f)}
+	if a.r.Bool() {
+		act.Transmit = true
+		act.Msg = msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: local}}
+	}
+	return act
+}
+
+func (a *steadyAgent) Deliver(msg.Message) { a.heard++ }
+func (a *steadyAgent) Output() Output      { return Output{} }
+
+// TestSteadyStateAllocs drives the single-hop round loop past warm-up on
+// both medium paths and requires exactly zero allocations per round.
+func TestSteadyStateAllocs(t *testing.T) {
+	for _, path := range []struct {
+		name string
+		m    MediumPath
+	}{{"indexed", MediumIndexed}, {"scan", MediumScan}} {
+		t.Run(path.name, func(t *testing.T) {
+			const f, jam, n = 16, 4, 64
+			cfg := &Config{
+				F:    f,
+				T:    jam,
+				Seed: 7,
+				NewAgent: func(id NodeID, activation uint64, r *rng.Rand) Agent {
+					return &steadyAgent{r: r, f: f}
+				},
+				Adversary: &allocJammer{
+					f: f, t: jam, r: rng.New(99), set: freqset.New(f),
+					scratch: make([]int, 0, jam),
+				},
+				RunToMaxRounds: true,
+				Medium:         path.m,
+			}
+			cfg.Schedule = Simultaneous{Count: n}
+			e, err := newEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm-up: activate everyone and let every growable buffer
+			// (active list, touched/listener/pending lists, the round
+			// record) reach its working capacity.
+			r := uint64(0)
+			for ; r < 64; r++ {
+				e.runRound(r + 1)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				r++
+				e.runRound(r)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state round allocates %.1f objects, want 0", allocs)
+			}
+		})
+	}
+}

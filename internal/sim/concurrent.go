@@ -57,7 +57,7 @@ func RunConcurrent(cfg *Config) (*Result, error) {
 						e.agents[i] = e.cfg.NewAgent(NodeID(i), cmd.round, e.agentRNG[i])
 					}
 					e.probeWeight(i)
-					e.actions[i] = e.agents[i].Step(cmd.round - e.activation[i] + 1)
+					e.stepAgent(i, cmd.round)
 				}
 			case phaseDeliver:
 				for i := w; i < e.n; i += workers {

@@ -2,12 +2,25 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wsync/internal/freqset"
 	"wsync/internal/medium"
 	"wsync/internal/msg"
 	"wsync/internal/rng"
 )
+
+// totalNodeRounds accumulates active node-rounds over every completed run
+// in this process. It exists for throughput accounting: wexp samples
+// TotalNodeRounds around each experiment to derive the node-rounds/s
+// figure recorded in the wsync-bench/v1 report.
+var totalNodeRounds atomic.Uint64
+
+// TotalNodeRounds returns the process-wide count of active node-rounds
+// executed by completed engine runs (sequential and concurrent). The count
+// is deterministic for a deterministic workload: it never depends on
+// scheduling or parallelism.
+func TotalNodeRounds() uint64 { return totalNodeRounds.Load() }
 
 // engine holds the state shared by the sequential and concurrent run modes.
 // The two modes differ only in how per-node Step and Deliver calls are
@@ -21,8 +34,17 @@ type engine struct {
 	agentRNG      []*rng.Rand
 	maxActivation uint64
 
-	actions []Action // per node, valid for active nodes each round
-	active  []bool   // per node
+	// Per-node action state in struct-of-arrays layout: the medium
+	// resolvers' classification loops touch only the packed frequency and
+	// transmit-flag arrays (5 bytes per node instead of a ~100-byte Action
+	// with its embedded message), and the message payload is copied only
+	// for transmitters — a stale actMsg entry is never read, because
+	// delivery resolution consults it only for nodes with actTx set this
+	// round.
+	actFreq []int32       // per node: this round's frequency choice
+	actTx   []bool        // per node: transmitting (vs listening) this round
+	actMsg  []msg.Message // per node: payload, valid only for transmitters
+	active  []bool        // per node
 
 	// act tracks activation buckets and the sorted awake list; med is the
 	// shared frequency-indexed resolver (internal/medium) on its
@@ -64,7 +86,9 @@ func newEngine(cfg *Config) (*engine, error) {
 		agents:     make([]Agent, n),
 		activation: make([]uint64, n),
 		agentRNG:   make([]*rng.Rand, n),
-		actions:    make([]Action, n),
+		actFreq:    make([]int32, n),
+		actTx:      make([]bool, n),
+		actMsg:     make([]msg.Message, n),
 		active:     make([]bool, n),
 		pending:    make([]msg.Message, n),
 		hasPending: make([]bool, n),
@@ -184,14 +208,14 @@ func (e *engine) resolveScan(r uint64, disrupted *freqset.Set) {
 		if !e.active[i] {
 			continue
 		}
-		a := e.actions[i]
-		if a.Freq < 1 || a.Freq > e.cfg.F {
-			e.badFreq(i, a.Freq)
+		f, tx := int(e.actFreq[i]), e.actTx[i]
+		if f < 1 || f > e.cfg.F {
+			e.badFreq(i, f)
 		}
-		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: a.Freq, Transmit: a.Transmit})
-		if a.Transmit {
-			e.txCount[a.Freq]++
-			e.txFrom[a.Freq] = NodeID(i)
+		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: f, Transmit: tx})
+		if tx {
+			e.txCount[f]++
+			e.txFrom[f] = NodeID(i)
 			e.res.Stats.Transmissions++
 		}
 	}
@@ -215,14 +239,10 @@ func (e *engine) resolveScan(r uint64, disrupted *freqset.Set) {
 
 	// Queue deliveries to listeners on clear single-transmitter channels.
 	for i := 0; i < e.n; i++ {
-		if !e.active[i] {
+		if !e.active[i] || e.actTx[i] {
 			continue
 		}
-		a := e.actions[i]
-		if a.Transmit {
-			continue
-		}
-		f := a.Freq
+		f := int(e.actFreq[i])
 		if e.txCount[f] == 1 && !disrupted.Contains(f) {
 			e.queueDelivery(i, f, e.txFrom[f])
 		}
@@ -240,13 +260,13 @@ func (e *engine) resolveIndexed(r uint64, disrupted *freqset.Set) {
 	rec := &e.rec
 	med := e.med
 	for _, i := range e.act.Active() {
-		a := e.actions[i]
-		if a.Freq < 1 || a.Freq > e.cfg.F {
-			e.badFreq(i, a.Freq)
+		f, tx := int(e.actFreq[i]), e.actTx[i]
+		if f < 1 || f > e.cfg.F {
+			e.badFreq(i, f)
 		}
-		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: a.Freq, Transmit: a.Transmit})
-		if a.Transmit {
-			med.Transmit(i, a.Freq)
+		rec.Actions = append(rec.Actions, ActionRecord{Node: NodeID(i), Freq: f, Transmit: tx})
+		if tx {
+			med.Transmit(i, f)
 			e.res.Stats.Transmissions++
 		} else {
 			med.Listen(i)
@@ -273,7 +293,7 @@ func (e *engine) resolveIndexed(r uint64, disrupted *freqset.Set) {
 	// Queue deliveries to listeners on clear single-transmitter channels;
 	// listeners were collected in ascending node order.
 	for _, i := range med.Listeners() {
-		f := e.actions[i].Freq
+		f := int(e.actFreq[i])
 		if med.Count(f) == 1 && !disrupted.Contains(f) {
 			e.queueDelivery(i, f, NodeID(med.From(f)))
 		}
@@ -296,7 +316,7 @@ func (e *engine) queueDelivery(i int, f int, from NodeID) {
 // deliverable returns the message node `from` transmitted this round,
 // optionally forced through the wire codec.
 func (e *engine) deliverable(from NodeID) msg.Message {
-	m := e.actions[from].Msg
+	m := e.actMsg[from]
 	if !e.cfg.WireFidelity {
 		return m
 	}
@@ -387,7 +407,40 @@ func (e *engine) finalize(hitMax bool) *Result {
 			e.res.Leaders++
 		}
 	}
+	totalNodeRounds.Add(e.res.Stats.NodeRounds)
 	return &e.res
+}
+
+// stepAgent advances node i for global round r and stores its choice in
+// the struct-of-arrays action state. The message payload is copied only
+// for transmitters; listeners' stale entries are never read.
+func (e *engine) stepAgent(i int, r uint64) {
+	a := e.agents[i].Step(r - e.activation[i] + 1)
+	e.actFreq[i] = int32(a.Freq)
+	e.actTx[i] = a.Transmit
+	if a.Transmit {
+		e.actMsg[i] = a.Msg
+	}
+}
+
+// runRound executes one sequential round end to end — activation, the
+// adversary, agent steps, medium resolution, deliveries, and output
+// bookkeeping — and reports whether the run should stop. After warm-up
+// (all nodes awake, every reused buffer at its high-water capacity) a
+// round performs zero heap allocations; TestSteadyStateAllocs pins this.
+func (e *engine) runRound(r uint64) (stop bool) {
+	e.activateRound(r)
+	disrupted := e.disruptedSet(r)
+	for _, i := range e.act.Active() {
+		e.probeWeight(i)
+		e.stepAgent(i, r)
+	}
+	e.resolve(r, disrupted)
+	for _, i := range e.pendingList {
+		e.agents[i].Deliver(e.pending[i])
+	}
+	e.recordOutputs(r)
+	return e.observeAndCheckStop(r)
 }
 
 // Run executes the simulation sequentially and returns its result. It
@@ -401,18 +454,7 @@ func Run(cfg *Config) (*Result, error) {
 	}
 	limit := e.maxRounds()
 	for r := uint64(1); r <= limit; r++ {
-		e.activateRound(r)
-		disrupted := e.disruptedSet(r)
-		for _, i := range e.act.Active() {
-			e.probeWeight(i)
-			e.actions[i] = e.agents[i].Step(r - e.activation[i] + 1)
-		}
-		e.resolve(r, disrupted)
-		for _, i := range e.pendingList {
-			e.agents[i].Deliver(e.pending[i])
-		}
-		e.recordOutputs(r)
-		if e.observeAndCheckStop(r) {
+		if e.runRound(r) {
 			return e.finalize(false), nil
 		}
 	}

@@ -1,0 +1,100 @@
+package churn
+
+import (
+	"fmt"
+	"sort"
+
+	"wsync/internal/multihop"
+)
+
+// Compose layers independent churn models over the same node universe: an
+// edge is up iff at least one layer holds it. Each layer evolves its own
+// edge set obliviously; Compose keeps per-edge reference counts and emits
+// a delta only when a count crosses zero (0→1 surfaces the edge, 1→0
+// sinks it). Touched edges are replayed in ascending key order, so the
+// merged delta stream is as deterministic as its layers.
+type Compose struct {
+	models []Model
+	topo   *multihop.Topology
+	refs   map[uint64]int
+
+	add, remove []multihop.Edge
+	touched     map[uint64]int
+	keys        []uint64
+}
+
+var _ Model = (*Compose)(nil)
+
+// NewCompose unions the layers' round-1 graphs. All layers must agree on
+// the node count.
+func NewCompose(models ...Model) *Compose {
+	if len(models) < 2 {
+		panic("churn: Compose needs at least two layers")
+	}
+	n := models[0].Topology().N()
+	refs := make(map[uint64]int)
+	var scratch []multihop.Edge
+	for _, sub := range models {
+		t := sub.Topology()
+		if t.N() != n {
+			panic(fmt.Sprintf("churn: Compose layers disagree on node count (%d vs %d)", n, t.N()))
+		}
+		scratch = t.AppendEdges(scratch[:0])
+		for _, e := range scratch {
+			refs[edgeKey(e.A, e.B)]++
+		}
+	}
+	union := make([]multihop.Edge, 0, len(refs))
+	for k := range refs {
+		union = append(union, keyEdge(k))
+	}
+	return &Compose{
+		models:  models,
+		topo:    multihop.NewTopologyFromEdges(n, union),
+		refs:    refs,
+		touched: make(map[uint64]int),
+	}
+}
+
+// Topology returns the round-1 union graph.
+func (m *Compose) Topology() *multihop.Topology { return m.topo }
+
+// Deltas implements multihop.ChurnModel: pull every layer's deltas,
+// adjust reference counts, and emit the edges whose count crossed zero.
+func (m *Compose) Deltas(r uint64) (add, remove []multihop.Edge) {
+	m.add, m.remove = m.add[:0], m.remove[:0]
+	m.keys = m.keys[:0]
+	clear(m.touched)
+	touch := func(e multihop.Edge) uint64 {
+		k := edgeKey(e.A, e.B)
+		if _, ok := m.touched[k]; !ok {
+			m.touched[k] = m.refs[k]
+			m.keys = append(m.keys, k)
+		}
+		return k
+	}
+	for _, sub := range m.models {
+		a, rm := sub.Deltas(r)
+		for _, e := range rm {
+			k := touch(e)
+			m.refs[k]--
+			if m.refs[k] < 0 {
+				panic(fmt.Sprintf("churn: Compose layer removed edge (%d,%d) no layer holds", e.A, e.B))
+			}
+		}
+		for _, e := range a {
+			m.refs[touch(e)]++
+		}
+	}
+	sort.Slice(m.keys, func(i, j int) bool { return m.keys[i] < m.keys[j] })
+	for _, k := range m.keys {
+		before, after := m.touched[k], m.refs[k]
+		switch {
+		case before == 0 && after > 0:
+			m.add = append(m.add, keyEdge(k))
+		case before > 0 && after == 0:
+			m.remove = append(m.remove, keyEdge(k))
+		}
+	}
+	return m.add, m.remove
+}

@@ -1,0 +1,60 @@
+package churn
+
+import (
+	"fmt"
+
+	"wsync/internal/multihop"
+	"wsync/internal/rng"
+)
+
+// Flip is i.i.d. per-round link churn: every edge of the base graph
+// independently toggles its presence with probability Rate each round.
+// Round 1 is the full base graph. Degree never exceeds the base graph's,
+// so once the engine's adjacency slices reach base capacity a flipped
+// round patches them allocation-free — the model the churned
+// TestSteadyStateAllocs subtest pins at 0 allocs/round.
+type Flip struct {
+	base  *multihop.Topology
+	edges []multihop.Edge
+	on    []bool
+	rate  float64
+	r     *rng.Rand
+
+	add, remove []multihop.Edge
+}
+
+var _ Model = (*Flip)(nil)
+
+// NewFlip builds the flip model over the base graph's edge set.
+func NewFlip(base *multihop.Topology, rate float64, seed uint64) *Flip {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("churn: flip rate %v outside [0, 1]", rate))
+	}
+	edges := base.AppendEdges(nil)
+	on := make([]bool, len(edges))
+	for i := range on {
+		on[i] = true
+	}
+	return &Flip{base: base, edges: edges, on: on, rate: rate, r: rng.New(seed)}
+}
+
+// Topology returns the round-1 graph: the base with every edge up.
+func (m *Flip) Topology() *multihop.Topology { return m.base }
+
+// Deltas implements multihop.ChurnModel: one Bernoulli draw per base
+// edge, in the fixed lexicographic edge order, toggling the losers.
+func (m *Flip) Deltas(r uint64) (add, remove []multihop.Edge) {
+	m.add, m.remove = m.add[:0], m.remove[:0]
+	for i, e := range m.edges {
+		if !m.r.Bernoulli(m.rate) {
+			continue
+		}
+		if m.on[i] {
+			m.remove = append(m.remove, e)
+		} else {
+			m.add = append(m.add, e)
+		}
+		m.on[i] = !m.on[i]
+	}
+	return m.add, m.remove
+}

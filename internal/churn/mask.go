@@ -1,0 +1,52 @@
+package churn
+
+import (
+	"fmt"
+
+	"wsync/internal/rendezvous"
+	"wsync/internal/rng"
+)
+
+// MaskFlip churns rendezvous party masks: every (party, channel) slot
+// independently toggles between open and blocked with probability Rate
+// each round, starting fully open. It is the rendezvous-side sibling of
+// Flip, plugged into rendezvous.Config.Masks.
+type MaskFlip struct {
+	k, f    int
+	rate    float64
+	r       *rng.Rand
+	blocked []bool
+
+	block, unblock [][2]int
+}
+
+var _ rendezvous.MaskModel = (*MaskFlip)(nil)
+
+// NewMaskFlip builds the model for k parties over channels 1..f.
+func NewMaskFlip(k, f int, rate float64, seed uint64) *MaskFlip {
+	if k < 1 || f < 1 || rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("churn: MaskFlip needs k >= 1, f >= 1, rate in [0, 1] (k=%d f=%d rate=%v)", k, f, rate))
+	}
+	return &MaskFlip{k: k, f: f, rate: rate, r: rng.New(seed), blocked: make([]bool, k*f)}
+}
+
+// MaskDeltas implements rendezvous.MaskModel: one Bernoulli draw per
+// slot in (party, channel) order, toggling the losers.
+func (m *MaskFlip) MaskDeltas(r uint64) (block, unblock [][2]int) {
+	m.block, m.unblock = m.block[:0], m.unblock[:0]
+	for p := 0; p < m.k; p++ {
+		for ch := 1; ch <= m.f; ch++ {
+			idx := p*m.f + ch - 1
+			if !m.r.Bernoulli(m.rate) {
+				continue
+			}
+			if m.blocked[idx] {
+				m.unblock = append(m.unblock, [2]int{p, ch})
+			} else {
+				m.block = append(m.block, [2]int{p, ch})
+			}
+			m.blocked[idx] = !m.blocked[idx]
+		}
+	}
+	return m.block, m.unblock
+}

@@ -1,0 +1,61 @@
+package churn
+
+import (
+	"fmt"
+
+	"wsync/internal/multihop"
+)
+
+// Partition is a deterministic partition-and-heal schedule: the network
+// splits into its two index halves (node < n/2 vs the rest) for the last
+// Down rounds of every Period-round cycle, then heals in one round. All
+// edges crossing the bipartition vanish together — the worst-case outage
+// for a protocol whose numbering must span the whole component — and the
+// deltas are the precomputed crossing set replayed in both directions, so
+// churned rounds stay allocation-free.
+type Partition struct {
+	base   *multihop.Topology
+	period uint64
+	down   uint64
+	cross  []multihop.Edge
+	cut    bool
+}
+
+var _ Model = (*Partition)(nil)
+
+// NewPartition builds the schedule: every period rounds, the bipartition
+// cut opens for the final down rounds of the cycle (cycles start at round
+// 1, so the first outage begins at round period−down+1).
+func NewPartition(base *multihop.Topology, period, down uint64) *Partition {
+	if period < 2 || down < 1 || down >= period {
+		panic(fmt.Sprintf("churn: partition schedule period=%d down=%d needs 1 <= down < period", period, down))
+	}
+	half := base.N() / 2
+	var cross []multihop.Edge
+	for _, e := range base.AppendEdges(nil) {
+		if (e.A < half) != (e.B < half) {
+			cross = append(cross, e)
+		}
+	}
+	return &Partition{base: base, period: period, down: down, cross: cross}
+}
+
+// Topology returns the round-1 graph (healed).
+func (m *Partition) Topology() *multihop.Topology { return m.base }
+
+// CrossingEdges returns the number of edges the outage severs.
+func (m *Partition) CrossingEdges() int { return len(m.cross) }
+
+// Deltas implements multihop.ChurnModel.
+func (m *Partition) Deltas(r uint64) (add, remove []multihop.Edge) {
+	want := (r-1)%m.period >= m.period-m.down
+	switch {
+	case want && !m.cut:
+		m.cut = true
+		return nil, m.cross
+	case !want && m.cut:
+		m.cut = false
+		return m.cross, nil
+	}
+	return nil, nil
+}

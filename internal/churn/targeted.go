@@ -1,0 +1,198 @@
+package churn
+
+import (
+	"fmt"
+
+	"wsync/internal/multihop"
+)
+
+// TargetedCut is an adversary that aims link cuts at the current minimum
+// cut. Every Every rounds it severs up to Budget edges: bridges first
+// (the size-1 cuts, found by Tarjan's lowlink pass), then edges of the
+// minimum-degree vertex — whose degree upper-bounds the global edge
+// min-cut — lowest neighbor first. Cut edges heal after Heal rounds. The
+// model is fully deterministic: no randomness, only the evolving graph.
+type TargetedCut struct {
+	base   *multihop.Topology
+	topo   *multihop.Topology
+	budget int
+	every  uint64
+	heal   uint64
+
+	pending []healEntry
+
+	add, remove []multihop.Edge
+
+	// bridge-finding scratch, reused across strikes
+	disc, low []int
+	stack     []bridgeFrame
+	scratch   []multihop.Edge
+	nbrs      []int
+}
+
+type healEntry struct {
+	at uint64
+	e  multihop.Edge
+}
+
+type bridgeFrame struct {
+	u, parent, next int
+}
+
+var _ Model = (*TargetedCut)(nil)
+
+// NewTargetedCut builds the adversary over base: strikes every `every`
+// rounds (the first at round 2), cutting up to budget edges that each
+// heal after heal rounds of outage.
+func NewTargetedCut(base *multihop.Topology, budget int, every, heal uint64) *TargetedCut {
+	if budget < 1 || every < 1 || heal < 1 {
+		panic(fmt.Sprintf("churn: TargetedCut needs budget >= 1, every >= 1, heal >= 1 (budget=%d every=%d heal=%d)", budget, every, heal))
+	}
+	n := base.N()
+	return &TargetedCut{
+		base:   base,
+		topo:   base.Clone(),
+		budget: budget,
+		every:  every,
+		heal:   heal,
+		disc:   make([]int, n),
+		low:    make([]int, n),
+	}
+}
+
+// Topology returns the round-1 graph (nothing cut yet).
+func (m *TargetedCut) Topology() *multihop.Topology { return m.base }
+
+// bridges appends every bridge of the current graph to dst, normalized
+// and sorted lexicographically (iterative Tarjan lowlink).
+func (m *TargetedCut) bridges(dst []multihop.Edge) []multihop.Edge {
+	n := m.topo.N()
+	for i := range m.disc {
+		m.disc[i] = 0
+	}
+	timer := 0
+	for root := 0; root < n; root++ {
+		if m.disc[root] != 0 {
+			continue
+		}
+		m.stack = append(m.stack[:0], bridgeFrame{u: root, parent: -1})
+		timer++
+		m.disc[root], m.low[root] = timer, timer
+		for len(m.stack) > 0 {
+			f := &m.stack[len(m.stack)-1]
+			nbrs := m.topo.Neighbors(f.u)
+			if f.next < len(nbrs) {
+				v := nbrs[f.next]
+				f.next++
+				if v == f.parent {
+					// Skip one edge back to the parent; simple graphs
+					// have exactly one, so mark it consumed.
+					f.parent = -1
+					continue
+				}
+				if m.disc[v] != 0 {
+					if m.low[f.u] > m.disc[v] {
+						m.low[f.u] = m.disc[v]
+					}
+					continue
+				}
+				timer++
+				m.disc[v], m.low[v] = timer, timer
+				m.stack = append(m.stack, bridgeFrame{u: v, parent: f.u})
+				continue
+			}
+			u := f.u
+			m.stack = m.stack[:len(m.stack)-1]
+			if len(m.stack) > 0 {
+				p := m.stack[len(m.stack)-1].u
+				if m.low[p] > m.low[u] {
+					m.low[p] = m.low[u]
+				}
+				if m.low[u] > m.disc[p] {
+					if p < u {
+						dst = append(dst, multihop.Edge{A: p, B: u})
+					} else {
+						dst = append(dst, multihop.Edge{A: u, B: p})
+					}
+				}
+			}
+		}
+	}
+	sortEdges(dst)
+	return dst
+}
+
+// healedThisRound reports whether e was just re-added (strikes skip those
+// so a round's add and remove sets stay disjoint).
+func (m *TargetedCut) healedThisRound(e multihop.Edge) bool {
+	for _, h := range m.add {
+		if h == e {
+			return true
+		}
+	}
+	return false
+}
+
+// cut severs e now, schedules its heal, and spends one budget unit.
+func (m *TargetedCut) cut(e multihop.Edge, r uint64, budget *int) {
+	m.remove = append(m.remove, e)
+	m.topo.DeleteEdge(e.A, e.B)
+	m.pending = append(m.pending, healEntry{at: r + m.heal, e: e})
+	*budget--
+}
+
+// Deltas implements multihop.ChurnModel: heal due edges, then on strike
+// rounds aim the budget at the thinnest part of the healed graph.
+func (m *TargetedCut) Deltas(r uint64) (add, remove []multihop.Edge) {
+	m.add, m.remove = m.add[:0], m.remove[:0]
+	if len(m.pending) > 0 {
+		kept := m.pending[:0]
+		for _, h := range m.pending {
+			if h.at == r {
+				m.add = append(m.add, h.e)
+				m.topo.InsertEdge(h.e.A, h.e.B)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		m.pending = kept
+	}
+	if r >= 2 && (r-2)%m.every == 0 {
+		budget := m.budget
+		m.scratch = m.bridges(m.scratch[:0])
+		for _, e := range m.scratch {
+			if budget == 0 {
+				break
+			}
+			if m.healedThisRound(e) {
+				continue
+			}
+			m.cut(e, r, &budget)
+		}
+		if budget > 0 {
+			v, vd := -1, 0
+			for i := 0; i < m.topo.N(); i++ {
+				if d := m.topo.Degree(i); d > 0 && (v < 0 || d < vd) {
+					v, vd = i, d
+				}
+			}
+			if v >= 0 {
+				m.nbrs = append(m.nbrs[:0], m.topo.Neighbors(v)...)
+				for _, j := range m.nbrs {
+					if budget == 0 {
+						break
+					}
+					e := multihop.Edge{A: v, B: j}
+					if j < v {
+						e = multihop.Edge{A: j, B: v}
+					}
+					if m.healedThisRound(e) {
+						continue
+					}
+					m.cut(e, r, &budget)
+				}
+			}
+		}
+	}
+	return m.add, m.remove
+}

@@ -1,0 +1,255 @@
+package churn
+
+import (
+	"fmt"
+	"math"
+
+	"wsync/internal/multihop"
+	"wsync/internal/rng"
+)
+
+// Waypoint is random-waypoint mobility over a geometric graph: n nodes in
+// the unit square, each walking toward a uniformly drawn waypoint at a
+// fixed per-round speed and drawing a fresh waypoint on arrival; an edge
+// exists iff two nodes sit within the connection radius.
+//
+// Movers bounds how many nodes relocate per round (round-robin over node
+// indices; 0 means all of them — classic synchronized mobility). A
+// spatial grid of radius-sized cells makes each round O(movers · local
+// density): only a mover's 3×3 cell neighborhood is re-examined, and only
+// edges incident to a mover can change. That incremental shape — not the
+// full O(n²) pair scan — is what keeps N=4096 mobile sweeps inside the
+// -full tier's wall-clock budget.
+type Waypoint struct {
+	n      int
+	radius float64
+	speed  float64
+	movers int
+	r      *rng.Rand
+
+	x, y   []float64
+	wx, wy []float64
+	topo   *multihop.Topology
+
+	gw       int
+	cellSize float64
+	cellOf   []int
+	cells    [][]int
+
+	next      int
+	moved     []int
+	movedFlag []bool
+
+	add, remove []multihop.Edge
+	cand        []int
+}
+
+var _ Model = (*Waypoint)(nil)
+
+// NewWaypoint draws the initial placement and waypoints. movers <= 0 (or
+// >= n) moves every node every round. Deterministic in seed.
+func NewWaypoint(n int, radius, speed float64, movers int, seed uint64) *Waypoint {
+	if n < 1 || radius <= 0 || speed <= 0 {
+		panic(fmt.Sprintf("churn: Waypoint needs n >= 1, radius > 0, speed > 0 (n=%d radius=%v speed=%v)", n, radius, speed))
+	}
+	if movers <= 0 || movers > n {
+		movers = n
+	}
+	m := &Waypoint{
+		n:         n,
+		radius:    radius,
+		speed:     speed,
+		movers:    movers,
+		r:         rng.New(seed),
+		x:         make([]float64, n),
+		y:         make([]float64, n),
+		wx:        make([]float64, n),
+		wy:        make([]float64, n),
+		cellOf:    make([]int, n),
+		movedFlag: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		m.x[i] = m.r.Float64()
+		m.y[i] = m.r.Float64()
+	}
+	for i := 0; i < n; i++ {
+		m.wx[i] = m.r.Float64()
+		m.wy[i] = m.r.Float64()
+	}
+	m.gw = int(1 / radius)
+	if m.gw < 1 {
+		m.gw = 1
+	}
+	m.cellSize = 1 / float64(m.gw)
+	m.cells = make([][]int, m.gw*m.gw)
+	for i := 0; i < n; i++ {
+		c := m.cellIndex(m.x[i], m.y[i])
+		m.cellOf[i] = c
+		m.cells[c] = append(m.cells[c], i)
+	}
+	var edges []multihop.Edge
+	for i := 0; i < n; i++ {
+		m.gatherNeighbors(i)
+		for _, j := range m.cand {
+			if j > i {
+				edges = append(edges, multihop.Edge{A: i, B: j})
+			}
+		}
+	}
+	m.topo = multihop.NewTopologyFromEdges(n, edges)
+	return m
+}
+
+// Topology returns the round-1 geometric graph. Call it before the first
+// Deltas — the model patches its own copy as rounds advance.
+func (m *Waypoint) Topology() *multihop.Topology { return m.topo }
+
+// cellIndex maps a position to its grid cell.
+func (m *Waypoint) cellIndex(x, y float64) int {
+	cx := int(x / m.cellSize)
+	if cx >= m.gw {
+		cx = m.gw - 1
+	}
+	cy := int(y / m.cellSize)
+	if cy >= m.gw {
+		cy = m.gw - 1
+	}
+	return cy*m.gw + cx
+}
+
+// inRange reports whether nodes i and j sit within the connection radius
+// (squared comparison; the model's own consistent link predicate).
+func (m *Waypoint) inRange(i, j int) bool {
+	dx, dy := m.x[i]-m.x[j], m.y[i]-m.y[j]
+	return dx*dx+dy*dy <= m.radius*m.radius
+}
+
+// gatherNeighbors fills m.cand with every node in range of i, ascending,
+// by scanning i's 3×3 cell neighborhood.
+func (m *Waypoint) gatherNeighbors(i int) {
+	m.cand = m.cand[:0]
+	cy, cx := m.cellOf[i]/m.gw, m.cellOf[i]%m.gw
+	for yy := cy - 1; yy <= cy+1; yy++ {
+		if yy < 0 || yy >= m.gw {
+			continue
+		}
+		for xx := cx - 1; xx <= cx+1; xx++ {
+			if xx < 0 || xx >= m.gw {
+				continue
+			}
+			for _, j := range m.cells[yy*m.gw+xx] {
+				if j != i && m.inRange(i, j) {
+					m.cand = append(m.cand, j)
+				}
+			}
+		}
+	}
+	// Cell membership order is arbitrary (swap-removes); restore the
+	// ascending order diffs and the topology invariant need. Local
+	// neighborhoods are small, so insertion sort beats the libraries.
+	for a := 1; a < len(m.cand); a++ {
+		for b := a; b > 0 && m.cand[b-1] > m.cand[b]; b-- {
+			m.cand[b-1], m.cand[b] = m.cand[b], m.cand[b-1]
+		}
+	}
+}
+
+// stepNode advances node i toward its waypoint, drawing a fresh one on
+// arrival, and updates its grid cell.
+func (m *Waypoint) stepNode(i int) {
+	dx, dy := m.wx[i]-m.x[i], m.wy[i]-m.y[i]
+	d := math.Sqrt(dx*dx + dy*dy)
+	if d <= m.speed {
+		m.x[i], m.y[i] = m.wx[i], m.wy[i]
+		m.wx[i], m.wy[i] = m.r.Float64(), m.r.Float64()
+	} else {
+		m.x[i] += dx / d * m.speed
+		m.y[i] += dy / d * m.speed
+	}
+	if c := m.cellIndex(m.x[i], m.y[i]); c != m.cellOf[i] {
+		old := m.cells[m.cellOf[i]]
+		for k, j := range old {
+			if j == i {
+				old[k] = old[len(old)-1]
+				m.cells[m.cellOf[i]] = old[:len(old)-1]
+				break
+			}
+		}
+		m.cells[c] = append(m.cells[c], i)
+		m.cellOf[i] = c
+	}
+}
+
+// diffNode compares node i's post-move neighborhood with its current
+// adjacency and emits the delta edges. An edge between two movers is
+// emitted by the lower-indexed one only — both compute the same verdict,
+// so the guard is pure deduplication.
+func (m *Waypoint) diffNode(i int) {
+	m.gatherNeighbors(i)
+	old := m.topo.Neighbors(i)
+	cand := m.cand
+	oi, ci := 0, 0
+	for oi < len(old) || ci < len(cand) {
+		var j int
+		var inOld, inNew bool
+		switch {
+		case oi == len(old):
+			j, inNew = cand[ci], true
+			ci++
+		case ci == len(cand):
+			j, inOld = old[oi], true
+			oi++
+		case old[oi] == cand[ci]:
+			oi, ci = oi+1, ci+1
+			continue
+		case old[oi] < cand[ci]:
+			j, inOld = old[oi], true
+			oi++
+		default:
+			j, inNew = cand[ci], true
+			ci++
+		}
+		if m.movedFlag[j] && j < i {
+			continue // the other mover already emitted this edge
+		}
+		e := multihop.Edge{A: i, B: j}
+		if j < i {
+			e = multihop.Edge{A: j, B: i}
+		}
+		if inOld && !inNew {
+			m.remove = append(m.remove, e)
+		} else if inNew && !inOld {
+			m.add = append(m.add, e)
+		}
+	}
+}
+
+// Deltas implements multihop.ChurnModel: move this round's mover quota,
+// re-derive only their neighborhoods, and patch the model's own topology
+// with the same deltas it hands the engine.
+func (m *Waypoint) Deltas(r uint64) (add, remove []multihop.Edge) {
+	m.add, m.remove = m.add[:0], m.remove[:0]
+	m.moved = m.moved[:0]
+	for j := 0; j < m.movers; j++ {
+		i := m.next
+		if m.next++; m.next == m.n {
+			m.next = 0
+		}
+		m.stepNode(i)
+		m.movedFlag[i] = true
+		m.moved = append(m.moved, i)
+	}
+	for _, i := range m.moved {
+		m.diffNode(i)
+	}
+	for _, i := range m.moved {
+		m.movedFlag[i] = false
+	}
+	for _, e := range m.remove {
+		m.topo.DeleteEdge(e.A, e.B)
+	}
+	for _, e := range m.add {
+		m.topo.InsertEdge(e.A, e.B)
+	}
+	return m.add, m.remove
+}

@@ -83,6 +83,7 @@ func All() []Experiment {
 		{ID: "X6", Title: "Replicated log on synchronized rounds (Section 8)", Run: runX6},
 		{ID: "X7", Title: "Multi-hop relay synchronization (Section 8)", Run: runX7},
 		{ID: "X8", Title: "Adversary gallery (model robustness)", Run: runX8},
+		{ID: "X9", Title: "Dynamic topologies: synchronization under churn (X9)", Run: runX9},
 		{ID: "R1", Title: "Two-party rendezvous vs band size and blocked fraction (R1)", Run: runR1},
 		{ID: "R2", Title: "k-party rendezvous scaling under churn (R2)", Run: runR2},
 		{ID: "R3", Title: "Rendezvous strategy gallery vs jammer gallery (R3)", Run: runR3},

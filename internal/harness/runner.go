@@ -78,6 +78,9 @@ const (
 	ptR2Adversary
 	ptR3Sim
 	ptR3Adversary
+	ptX9Sim
+	ptX9Adversary
+	ptX9Model
 )
 
 // boolBit packs an ablation flag into a point key.

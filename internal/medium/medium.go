@@ -1,5 +1,7 @@
 package medium
 
+import "fmt"
+
 // Graph is the read-only topology view the resolver resolves receptions
 // against: an undirected communication graph over dense node indices
 // 0..N-1. Implementations must list each node's neighbors in ascending
@@ -253,7 +255,18 @@ func (r *Resolver) Receive(u, f int) (from, count int) {
 // transmit state into another's receptions. A nil graph switches to the
 // complete-graph fast path; per-node state grows as needed if the new
 // graph covers more nodes than the resolver was built for.
+//
+// The node universe only ever grows: swapping in a graph with fewer nodes
+// than the resolver currently covers panics. Nodes at or above the new
+// graph's count may already be registered (or active in the caller's
+// bookkeeping), and resolving them would index past the new adjacency —
+// shrinking silently was a latent out-of-range read. Callers that truly
+// want a smaller universe build a fresh resolver.
 func (r *Resolver) SetGraph(g Graph) {
+	if g != nil && g.N() < r.n {
+		panic(fmt.Sprintf("medium: SetGraph shrinks the node universe from %d to %d; build a new resolver instead",
+			r.n, g.N()))
+	}
 	// Reset while the old graph is still installed: in graph mode it is
 	// what clears the per-node txFreq entries this round dirtied.
 	r.Reset()

@@ -314,6 +314,54 @@ func TestResolverSetGraph(t *testing.T) {
 	})
 }
 
+// TestSetGraphShrink pins the node-universe rule: the universe only ever
+// grows. Swapping in a graph with fewer nodes than the resolver currently
+// covers must panic — nodes at or above the new count may already be
+// registered, and resolving them would index past the new adjacency (the
+// latent out-of-range read this rule exists to forbid).
+func TestSetGraphShrink(t *testing.T) {
+	mk := func(n int) Graph {
+		adj := make([][]int, n)
+		for i := 1; i < n; i++ { // star on node 0, any shape works
+			adj[0] = append(adj[0], i)
+			adj[i] = []int{0}
+		}
+		return &testGraph{adj: adj}
+	}
+	cases := []struct {
+		name      string
+		start     Graph // nil = complete-graph mode over startN nodes
+		startN    int
+		swaps     []Graph // applied in order; the last one is under test
+		wantPanic bool
+	}{
+		{"same size is fine", mk(3), 3, []Graph{mk(3)}, false},
+		{"growing is fine", mk(2), 2, []Graph{mk(4)}, false},
+		{"swap to nil is fine", mk(3), 3, []Graph{nil}, false},
+		{"nil to equal graph is fine", nil, 3, []Graph{mk(3)}, false},
+		{"shrink panics", mk(3), 3, []Graph{mk(2)}, true},
+		{"shrink below the nil-mode universe panics", nil, 4, []Graph{mk(3)}, true},
+		{"shrink after growth panics", mk(2), 2, []Graph{mk(4), mk(3)}, true},
+		{"nil does not reset the grown universe", mk(2), 2, []Graph{mk(4), nil, mk(2)}, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewResolver(2, tc.startN, tc.start)
+			for _, g := range tc.swaps[:len(tc.swaps)-1] {
+				r.SetGraph(g)
+			}
+			last := tc.swaps[len(tc.swaps)-1]
+			defer func() {
+				if got := recover() != nil; got != tc.wantPanic {
+					t.Fatalf("panic = %v, want %v", got, tc.wantPanic)
+				}
+			}()
+			r.SetGraph(last)
+		})
+	}
+}
+
 func TestContainsSorted(t *testing.T) {
 	s := []int{1, 4, 7, 9, 30}
 	for _, x := range s {

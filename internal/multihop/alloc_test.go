@@ -30,6 +30,44 @@ func (a *allocAgent) Step(local uint64) sim.Action {
 func (a *allocAgent) Deliver(msg.Message) { a.heard++ }
 func (a *allocAgent) Output() sim.Output  { return sim.Output{} }
 
+// allocFlip is churn.Flip re-implemented without the import cycle
+// (internal/churn imports this package): every base edge independently
+// toggles presence each round, deltas emitted into reused buffers. Degree
+// never exceeds the base graph's, so once the engine's adjacency slices
+// warm up to base capacity a churned round patches them in place.
+type allocFlip struct {
+	edges       []Edge
+	on          []bool
+	rate        float64
+	r           *rng.Rand
+	add, remove []Edge
+}
+
+func newAllocFlip(base *Topology, rate float64, seed uint64) *allocFlip {
+	edges := base.AppendEdges(nil)
+	on := make([]bool, len(edges))
+	for i := range on {
+		on[i] = true
+	}
+	return &allocFlip{edges: edges, on: on, rate: rate, r: rng.New(seed)}
+}
+
+func (m *allocFlip) Deltas(uint64) (add, remove []Edge) {
+	m.add, m.remove = m.add[:0], m.remove[:0]
+	for i, e := range m.edges {
+		if !m.r.Bernoulli(m.rate) {
+			continue
+		}
+		if m.on[i] {
+			m.remove = append(m.remove, e)
+		} else {
+			m.add = append(m.add, e)
+		}
+		m.on[i] = !m.on[i]
+	}
+	return m.add, m.remove
+}
+
 // TestSteadyStateAllocs drives the multi-hop round loop past warm-up on
 // both medium paths and requires exactly zero allocations per round — the
 // multi-hop half of the zero-alloc hot-path contract (the single-hop half
@@ -37,9 +75,11 @@ func (a *allocAgent) Output() sim.Output  { return sim.Output{} }
 // adversary package (no import cycle from here).
 func TestSteadyStateAllocs(t *testing.T) {
 	for _, path := range []struct {
-		name string
-		m    sim.MediumPath
-	}{{"indexed", sim.MediumIndexed}, {"scan", sim.MediumScan}} {
+		name  string
+		m     sim.MediumPath
+		churn bool
+	}{{name: "indexed", m: sim.MediumIndexed}, {name: "scan", m: sim.MediumScan},
+		{name: "churned", m: sim.MediumIndexed, churn: true}} {
 		t.Run(path.name, func(t *testing.T) {
 			const f, jam = 16, 4
 			cfg := &Config{
@@ -53,6 +93,12 @@ func TestSteadyStateAllocs(t *testing.T) {
 				Adversary: adversary.NewRandom(f, jam, 99),
 				RunToMax:  true,
 				Medium:    path.m,
+			}
+			if path.churn {
+				// A churned round must also be allocation-free: the delta
+				// mutations patch warmed adjacency in place and the
+				// SetGraph swap reuses every resolver buffer.
+				cfg.Churn = newAllocFlip(cfg.Topology, 0.2, 123)
 			}
 			e, err := newEngine(cfg)
 			if err != nil {
@@ -68,6 +114,9 @@ func TestSteadyStateAllocs(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("steady-state round allocates %.1f objects, want 0", allocs)
+			}
+			if path.churn && e.res.ChurnRounds == 0 {
+				t.Fatal("churned subtest never applied a delta; the alloc check ran vacuously")
 			}
 		})
 	}

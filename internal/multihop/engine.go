@@ -22,6 +22,28 @@ var totalNodeRounds atomic.Uint64
 // workload — it never depends on scheduling or parallelism.
 func TotalNodeRounds() uint64 { return totalNodeRounds.Load() }
 
+// Edge is an undirected edge between two node indices. Churn models emit
+// deltas as normalized (A < B) edges; the engine's delta applier accepts
+// either orientation.
+type Edge struct {
+	A, B int
+}
+
+// ChurnModel drives per-round topology evolution — the dynamic-topology
+// hook the churn workloads (internal/churn) plug into. Round 1 runs on
+// Config.Topology unchanged; for every later round r the engine asks the
+// model for the edge deltas that transform the round r−1 graph into the
+// round r graph, applies them to its private topology clone, and swaps
+// the result into the medium resolver via SetGraph.
+//
+// The contract is strict so model bugs surface instead of skewing
+// results: every added edge must be absent and every removed edge present
+// at the time it is applied, or the engine panics. The returned slices
+// are only read before the next Deltas call, so models may reuse them.
+type ChurnModel interface {
+	Deltas(r uint64) (add, remove []Edge)
+}
+
 // Config describes one multi-hop simulation. It reuses the single-hop
 // model's agents, schedules, and adversaries; only medium resolution
 // changes.
@@ -56,6 +78,18 @@ type Config struct {
 	// (TestMultihopMediumDifferential asserts the two paths produce
 	// bit-identical Results).
 	Medium sim.MediumPath
+	// Churn, if non-nil, evolves the topology between rounds. The engine
+	// clones Config.Topology (the caller's graph is never mutated) and
+	// applies the model's per-round deltas to the clone in place —
+	// O(delta) per round and allocation-free at steady state — before
+	// swapping it into the resolver with SetGraph.
+	Churn ChurnModel
+	// ChurnRebuild forces the delta-application oracle: instead of
+	// patching sorted adjacency in place, each churned round rebuilds a
+	// fresh Topology from the accumulated edge set and swaps it in whole.
+	// O(E) per round and allocating — kept only for differential testing
+	// (TestChurnDeltaMatchesRebuild pins the two paths byte-identical).
+	ChurnRebuild bool
 }
 
 // Result reports a multi-hop run.
@@ -70,6 +104,12 @@ type Result struct {
 	Deliveries   uint64
 	Collisions   uint64 // per (receiver, round): >= 2 transmitting neighbors on its frequency
 	HitMaxRounds bool
+	// ChurnRounds counts the rounds whose topology differed from the
+	// previous round's; ChurnEdges totals the edge inserts and removes
+	// applied. Both are zero without Config.Churn and identical across
+	// the delta and rebuild paths (part of the differential contract).
+	ChurnRounds uint64
+	ChurnEdges  uint64
 }
 
 func (c *Config) validate() error {
@@ -127,6 +167,10 @@ type engine struct {
 	empty          *freqset.Set
 	synced         int
 	activatedCount int
+
+	// churnEdges is the rebuild oracle's edge set (normalized lo<<32|hi
+	// keys), maintained only under Config.ChurnRebuild.
+	churnEdges map[uint64]struct{}
 }
 
 func newEngine(c *Config) (*engine, error) {
@@ -151,6 +195,17 @@ func newEngine(c *Config) (*engine, error) {
 		res:        &Result{SyncRound: make([]uint64, n)},
 		empty:      freqset.New(c.F),
 	}
+	if c.Churn != nil {
+		// Delta mutations must never reach the caller's topology, which
+		// experiments share across trials.
+		e.topo = c.Topology.Clone()
+		if c.ChurnRebuild {
+			e.churnEdges = make(map[uint64]struct{}, e.topo.EdgeCount())
+			for _, ed := range e.topo.AppendEdges(nil) {
+				e.churnEdges[edgeKey(ed.A, ed.B)] = struct{}{}
+			}
+		}
+	}
 	master := rng.New(c.Seed)
 	for i := 0; i < n; i++ {
 		e.activation[i] = 1
@@ -163,8 +218,74 @@ func newEngine(c *Config) (*engine, error) {
 		e.agentRNG[i] = master.Split(uint64(i))
 	}
 	e.act = medium.NewActivation(e.activation)
-	e.med = medium.NewResolver(c.F, n, c.Topology)
+	e.med = medium.NewResolver(c.F, n, e.topo)
 	return e, nil
+}
+
+// edgeKey normalizes an undirected edge into a comparable map key.
+func edgeKey(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// churnRound advances the topology to round r: it pulls the model's edge
+// deltas and applies them, either in place (the delta fast path) or via
+// the rebuild oracle, then swaps the result into the resolver. Round 1 is
+// the configured topology; churn starts at round 2.
+func (e *engine) churnRound(r uint64) {
+	if r < 2 {
+		return
+	}
+	add, remove := e.cfg.Churn.Deltas(r)
+	if len(add) == 0 && len(remove) == 0 {
+		return
+	}
+	if e.cfg.ChurnRebuild {
+		e.rebuildTopology(r, add, remove)
+		return
+	}
+	for _, ed := range remove {
+		if !e.topo.DeleteEdge(ed.A, ed.B) {
+			panic(fmt.Sprintf("multihop: churn removed absent edge (%d, %d) in round %d", ed.A, ed.B, r))
+		}
+	}
+	for _, ed := range add {
+		if !e.topo.InsertEdge(ed.A, ed.B) {
+			panic(fmt.Sprintf("multihop: churn added present edge (%d, %d) in round %d", ed.A, ed.B, r))
+		}
+	}
+	e.med.SetGraph(e.topo)
+	e.res.ChurnEdges += uint64(len(add) + len(remove))
+	e.res.ChurnRounds++
+}
+
+// rebuildTopology is the oracle path: the deltas update a plain edge set,
+// and a fresh Topology is constructed from scratch and swapped in whole.
+func (e *engine) rebuildTopology(r uint64, add, remove []Edge) {
+	for _, ed := range remove {
+		key := edgeKey(ed.A, ed.B)
+		if _, ok := e.churnEdges[key]; !ok {
+			panic(fmt.Sprintf("multihop: churn removed absent edge (%d, %d) in round %d", ed.A, ed.B, r))
+		}
+		delete(e.churnEdges, key)
+	}
+	for _, ed := range add {
+		key := edgeKey(ed.A, ed.B)
+		if _, ok := e.churnEdges[key]; ok {
+			panic(fmt.Sprintf("multihop: churn added present edge (%d, %d) in round %d", ed.A, ed.B, r))
+		}
+		e.churnEdges[key] = struct{}{}
+	}
+	fresh := newTopology(e.n)
+	for key := range e.churnEdges {
+		fresh.addEdge(int(key>>32), int(key&(1<<32-1)))
+	}
+	e.topo = fresh.finish()
+	e.med.SetGraph(e.topo)
+	e.res.ChurnEdges += uint64(len(add) + len(remove))
+	e.res.ChurnRounds++
 }
 
 // disruptedSet obtains and validates the adversary's choice for round r.
@@ -258,6 +379,9 @@ func (e *engine) resolveIndexed(disrupted *freqset.Set) {
 func (e *engine) runRound(r uint64) (stop bool) {
 	c := e.cfg
 	res := e.res
+	if c.Churn != nil {
+		e.churnRound(r)
+	}
 	for _, i := range e.act.Wake(r) {
 		e.active[i] = true
 		e.agents[i] = c.NewAgent(sim.NodeID(i), r, e.agentRNG[i])

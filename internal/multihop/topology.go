@@ -65,6 +65,131 @@ func (t *Topology) finish() *Topology {
 	return t
 }
 
+// HasEdge reports whether the undirected edge (a, b) is present in a
+// sealed topology.
+func (t *Topology) HasEdge(a, b int) bool {
+	if a == b {
+		return false
+	}
+	// Search from the lower-degree endpoint.
+	if len(t.adj[a]) > len(t.adj[b]) {
+		a, b = b, a
+	}
+	i := sort.SearchInts(t.adj[a], b)
+	return i < len(t.adj[a]) && t.adj[a][i] == b
+}
+
+// InsertEdge adds the undirected edge (a, b) to a sealed topology in
+// place, keeping both adjacency lists sorted — the delta half of the
+// dynamic-topology API. It reports whether the edge was absent (and is now
+// present); inserting a present edge is a no-op returning false. Amortized
+// cost is O(degree) per endpoint with no allocation once the adjacency
+// slices have grown to their working capacity, which is what keeps churned
+// rounds on the engines' zero-alloc steady-state path.
+func (t *Topology) InsertEdge(a, b int) bool {
+	if a == b {
+		panic("multihop: self-loop")
+	}
+	if a < 0 || a >= t.n || b < 0 || b >= t.n {
+		panic(fmt.Sprintf("multihop: InsertEdge(%d, %d) outside [0, %d)", a, b, t.n))
+	}
+	i := sort.SearchInts(t.adj[a], b)
+	if i < len(t.adj[a]) && t.adj[a][i] == b {
+		return false
+	}
+	t.adj[a] = insertSortedAt(t.adj[a], i, b)
+	t.adj[b] = insertSortedAt(t.adj[b], sort.SearchInts(t.adj[b], a), a)
+	return true
+}
+
+// DeleteEdge removes the undirected edge (a, b) from a sealed topology in
+// place. It reports whether the edge was present (and is now absent);
+// deleting an absent edge is a no-op returning false. Like InsertEdge it
+// never allocates and preserves the sorted-adjacency invariant.
+func (t *Topology) DeleteEdge(a, b int) bool {
+	if a == b {
+		panic("multihop: self-loop")
+	}
+	if a < 0 || a >= t.n || b < 0 || b >= t.n {
+		panic(fmt.Sprintf("multihop: DeleteEdge(%d, %d) outside [0, %d)", a, b, t.n))
+	}
+	i := sort.SearchInts(t.adj[a], b)
+	if i >= len(t.adj[a]) || t.adj[a][i] != b {
+		return false
+	}
+	t.adj[a] = removeSortedAt(t.adj[a], i)
+	t.adj[b] = removeSortedAt(t.adj[b], sort.SearchInts(t.adj[b], a))
+	return true
+}
+
+// insertSortedAt inserts x at position i, shifting the tail right. The
+// append grows capacity only until the slice reaches its working size.
+func insertSortedAt(s []int, i, x int) []int {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// removeSortedAt deletes position i, shifting the tail left. Capacity is
+// retained for future inserts.
+func removeSortedAt(s []int, i int) []int {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// Clone deep-copies a sealed topology. Engines that churn edges clone the
+// configured topology so per-round delta mutations never reach the
+// caller's graph (which may be shared across trials).
+func (t *Topology) Clone() *Topology {
+	c := &Topology{n: t.n, adj: make([][]int, t.n)}
+	for i, nbrs := range t.adj {
+		c.adj[i] = append([]int(nil), nbrs...)
+	}
+	return c
+}
+
+// EdgeCount returns the number of undirected edges.
+func (t *Topology) EdgeCount() int {
+	total := 0
+	for i := range t.adj {
+		total += len(t.adj[i])
+	}
+	return total / 2
+}
+
+// AppendEdges appends every undirected edge as a normalized (lo, hi) pair
+// in lexicographic order and returns the extended slice — the snapshot the
+// churn rebuild oracle and the mobility models diff against.
+func (t *Topology) AppendEdges(dst []Edge) []Edge {
+	for a := 0; a < t.n; a++ {
+		for _, b := range t.adj[a] {
+			if b > a {
+				dst = append(dst, Edge{A: a, B: b})
+			}
+		}
+	}
+	return dst
+}
+
+// NewTopologyFromEdges builds a sealed topology over n nodes from an
+// explicit undirected edge list. Duplicate edges (in either orientation)
+// collapse; self-loops and out-of-range endpoints panic. Churn models use
+// it to materialize layered or snapshot edge sets as real topologies.
+func NewTopologyFromEdges(n int, edges []Edge) *Topology {
+	if n < 1 {
+		panic("multihop: NewTopologyFromEdges needs n >= 1")
+	}
+	t := newTopology(n)
+	for _, e := range edges {
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			panic(fmt.Sprintf("multihop: edge (%d, %d) outside [0, %d)", e.A, e.B, n))
+		}
+		t.addEdge(e.A, e.B)
+	}
+	return t.finish()
+}
+
 // Line returns the path topology 0—1—…—n−1 (diameter n−1).
 func Line(n int) *Topology {
 	if n < 1 {

@@ -39,6 +39,18 @@ type Party struct {
 	Mask []int
 }
 
+// MaskModel evolves per-party channel masks between rounds — the
+// rendezvous-side dynamic-topology hook. MaskDeltas is called once per
+// round from round 2 on (round 1 plays on the initial, fully unblocked
+// mask state) and returns the (party, channel) pairs to block and
+// unblock this round. Blocking an already-blocked pair, unblocking an
+// unblocked one, or naming a party or channel out of range fails the run.
+// Returned slices are only read before the next call, so models may
+// reuse their buffers.
+type MaskModel interface {
+	MaskDeltas(r uint64) (block, unblock [][2]int)
+}
+
 // Config configures a rendezvous game.
 type Config struct {
 	// F is the band size (channels 1..F).
@@ -47,6 +59,13 @@ type Config struct {
 	Parties []Party
 	// Jammer blocks channels globally each round; nil means none.
 	Jammer Jammer
+	// Masks churns per-party channel masks between rounds; nil means the
+	// static Party.Mask sets are the whole story. Dynamic masks
+	// materialize as k·F dedicated virtual transmitters whose adjacency
+	// to their party toggles per round, swapped into the resolver with
+	// SetGraph — the same mechanism the multihop engine uses for edge
+	// churn.
+	Masks MaskModel
 	// MaxRounds bounds the game length.
 	MaxRounds uint64
 	// Seed drives all party randomness; party p's stream is
@@ -123,7 +142,14 @@ func Run(cfg *Config) (*Result, error) {
 	if cfg.Jammer != nil {
 		jamNodes = cfg.F // one virtual transmitter per blockable channel
 	}
-	adj := make([][]int, jamBase+jamNodes)
+	// Dynamic masks get one dedicated node per (party, channel) slot so a
+	// block/unblock is a pure adjacency toggle, never a node re-layout.
+	dynBase := jamBase + jamNodes
+	dynNodes := 0
+	if cfg.Masks != nil {
+		dynNodes = k * cfg.F
+	}
+	adj := make([][]int, dynBase+dynNodes)
 	for p := 0; p < k; p++ {
 		for q := 0; q < k; q++ {
 			if q != p {
@@ -152,7 +178,12 @@ func Run(cfg *Config) (*Result, error) {
 			adj[jamBase+j] = parties
 		}
 	}
-	res := medium.NewResolver(cfg.F, len(adj), &gameGraph{adj: adj})
+	graph := &gameGraph{adj: adj}
+	res := medium.NewResolver(cfg.F, len(adj), graph)
+	var dynBlocked []bool
+	if dynNodes > 0 {
+		dynBlocked = make([]bool, dynNodes)
+	}
 
 	wakes := make([]uint64, k)
 	strategies := make([]Strategy, k)
@@ -187,6 +218,15 @@ func Run(cfg *Config) (*Result, error) {
 	prev := make([]Action, k)
 	out := &Result{}
 	for g := uint64(1); g <= cfg.MaxRounds; g++ {
+		if cfg.Masks != nil && g >= 2 {
+			block, unblock := cfg.Masks.MaskDeltas(g)
+			if len(block)+len(unblock) > 0 {
+				if err := applyMaskDeltas(adj, dynBlocked, block, unblock, k, cfg.F, dynBase, g); err != nil {
+					return nil, err
+				}
+				res.SetGraph(graph)
+			}
+		}
 		act.Wake(g)
 		rd.Global = g
 		for p := 0; p < k; p++ {
@@ -229,6 +269,13 @@ func Run(cfg *Config) (*Result, error) {
 				}
 			}
 		}
+		// Dynamic mask slots scan in (party, channel) order, so node
+		// indices stay ascending as the buckets require.
+		for idx, on := range dynBlocked {
+			if on {
+				res.Transmit(dynBase+idx, idx%cfg.F+1)
+			}
+		}
 
 		for _, v := range res.Listeners() {
 			from, count := res.Receive(v, cur[v].Freq)
@@ -256,4 +303,74 @@ func Run(cfg *Config) (*Result, error) {
 	}
 	totalNodeRounds.Add(out.NodeRounds)
 	return out, nil
+}
+
+// applyMaskDeltas patches the game graph for one round of mask churn:
+// blocking (p, ch) attaches dyn node dynBase + p·F + ch − 1 to party p,
+// unblocking detaches it. Party adjacency stays sorted (dyn nodes are the
+// highest indices, laid out in slot order), so the resolver's binary
+// searches keep working on the swapped graph. Unblocks apply first so a
+// model may retire and re-impose the same slot across rounds.
+func applyMaskDeltas(adj [][]int, dynBlocked []bool, block, unblock [][2]int, k, f, dynBase int, g uint64) error {
+	for _, pc := range unblock {
+		idx, err := maskSlot(pc, k, f, g)
+		if err != nil {
+			return err
+		}
+		if !dynBlocked[idx] {
+			return fmt.Errorf("rendezvous: round %d unblocks channel %d for party %d, which is not blocked", g, pc[1], pc[0])
+		}
+		dynBlocked[idx] = false
+		node := dynBase + idx
+		adj[node] = adj[node][:0]
+		adj[pc[0]] = removeSortedInt(adj[pc[0]], node)
+	}
+	for _, pc := range block {
+		idx, err := maskSlot(pc, k, f, g)
+		if err != nil {
+			return err
+		}
+		if dynBlocked[idx] {
+			return fmt.Errorf("rendezvous: round %d blocks channel %d for party %d twice", g, pc[1], pc[0])
+		}
+		dynBlocked[idx] = true
+		node := dynBase + idx
+		adj[node] = append(adj[node][:0], pc[0])
+		adj[pc[0]] = insertSortedInt(adj[pc[0]], node)
+	}
+	return nil
+}
+
+// maskSlot validates a (party, channel) pair and returns its dyn slot.
+func maskSlot(pc [2]int, k, f int, g uint64) (int, error) {
+	if pc[0] < 0 || pc[0] >= k {
+		return 0, fmt.Errorf("rendezvous: round %d mask delta names party %d outside [0..%d]", g, pc[0], k-1)
+	}
+	if pc[1] < 1 || pc[1] > f {
+		return 0, fmt.Errorf("rendezvous: round %d mask delta names channel %d outside [1..%d]", g, pc[1], f)
+	}
+	return pc[0]*f + pc[1] - 1, nil
+}
+
+// insertSortedInt inserts x into ascending s, assuming it is absent.
+func insertSortedInt(s []int, x int) []int {
+	i := len(s)
+	for i > 0 && s[i-1] > x {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// removeSortedInt deletes x from ascending s, assuming it is present.
+func removeSortedInt(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			copy(s[i:], s[i+1:])
+			return s[:len(s)-1]
+		}
+	}
+	panic(fmt.Sprintf("rendezvous: mask node %d missing from adjacency", x))
 }

@@ -58,13 +58,42 @@ func (a *steadyAgent) Step(local uint64) Action {
 func (a *steadyAgent) Deliver(msg.Message) { a.heard++ }
 func (a *steadyAgent) Output() Output      { return Output{} }
 
+// allocCompleteGraph is an explicit complete graph: semantically the same
+// medium as the resolver's nil-graph fast path, but forcing graph-mode
+// resolution, so swapping between it and nil exercises SetGraph without
+// changing any result.
+type allocCompleteGraph struct {
+	adj [][]int
+}
+
+func newAllocCompleteGraph(n int) *allocCompleteGraph {
+	g := &allocCompleteGraph{adj: make([][]int, n)}
+	for i := range g.adj {
+		for j := 0; j < n; j++ {
+			if j != i {
+				g.adj[i] = append(g.adj[i], j)
+			}
+		}
+	}
+	return g
+}
+
+func (g *allocCompleteGraph) N() int                { return len(g.adj) }
+func (g *allocCompleteGraph) Neighbors(i int) []int { return g.adj[i] }
+
 // TestSteadyStateAllocs drives the single-hop round loop past warm-up on
-// both medium paths and requires exactly zero allocations per round.
+// both medium paths and requires exactly zero allocations per round. The
+// churned variant additionally swaps the resolver's graph every round
+// (complete graph in, nil back out) — the single-hop half of the
+// dynamic-topology contract: per-round SetGraph swaps on a live engine
+// are allocation-free once warm.
 func TestSteadyStateAllocs(t *testing.T) {
 	for _, path := range []struct {
-		name string
-		m    MediumPath
-	}{{"indexed", MediumIndexed}, {"scan", MediumScan}} {
+		name  string
+		m     MediumPath
+		churn bool
+	}{{name: "indexed", m: MediumIndexed}, {name: "scan", m: MediumScan},
+		{name: "churned", m: MediumIndexed, churn: true}} {
 		t.Run(path.name, func(t *testing.T) {
 			const f, jam, n = 16, 4, 64
 			cfg := &Config{
@@ -89,12 +118,30 @@ func TestSteadyStateAllocs(t *testing.T) {
 			// Warm-up: activate everyone and let every growable buffer
 			// (active list, touched/listener/pending lists, the round
 			// record) reach its working capacity.
+			var complete *allocCompleteGraph
+			if path.churn {
+				complete = newAllocCompleteGraph(n)
+			}
 			r := uint64(0)
 			for ; r < 64; r++ {
+				if path.churn {
+					if r%2 == 0 {
+						e.med.SetGraph(complete)
+					} else {
+						e.med.SetGraph(nil)
+					}
+				}
 				e.runRound(r + 1)
 			}
 			allocs := testing.AllocsPerRun(100, func() {
 				r++
+				if path.churn {
+					if r%2 == 0 {
+						e.med.SetGraph(complete)
+					} else {
+						e.med.SetGraph(nil)
+					}
+				}
 				e.runRound(r)
 			})
 			if allocs != 0 {

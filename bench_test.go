@@ -645,6 +645,112 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkStepDispatch measures devirtualized batch stepping against
+// per-node virtual dispatch (Config.NoBatch) on both engines. The
+// populations are arena-built, so the batch variant advances each cohort
+// with one StepBatch call per round while the virtual variant forces the
+// per-node Step fallback on the identical workload — the batch/virtual
+// ratio per sub-benchmark IS the devirtualization win, and the two
+// variants produce bit-identical results (TestBatchStepMatchesPerNode).
+//
+//   - dense: the acceptance workload — F=128, every node awake from round
+//     1, so stepping dominates and the cohort loop's locality shows.
+//   - sparse: a trickling schedule, so cohort bookkeeping (activation
+//     inserts, growing locals) is exercised alongside stepping.
+func BenchmarkStepDispatch(b *testing.B) {
+	const f, tBudget = 128, 2
+	dispatches := []struct {
+		name    string
+		noBatch bool
+	}{{"batch", false}, {"virtual", true}}
+	b.Run("sim", func(b *testing.B) {
+		cases := []struct {
+			name     string
+			n        int
+			schedule sim.Schedule
+			rounds   uint64
+		}{
+			{"dense", 512, sim.Simultaneous{Count: 512}, 2000},
+			{"sparse", 2048, sim.Staggered{Count: 2048, Gap: 8}, 4096},
+		}
+		for _, c := range cases {
+			c := c
+			for _, d := range dispatches {
+				d := d
+				b.Run(d.name+"/"+c.name, func(b *testing.B) {
+					b.ReportAllocs()
+					arena := baseline.NewWakeupArena(256, f, c.n)
+					var nodeRounds uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := sim.Run(&sim.Config{
+							F:              f,
+							T:              tBudget,
+							Seed:           uint64(i),
+							NewAgent:       arena.NewAgent,
+							Schedule:       c.schedule,
+							Adversary:      adversary.NewRandom(f, tBudget, uint64(i)),
+							MaxRounds:      c.rounds,
+							RunToMaxRounds: true,
+							NoBatch:        d.noBatch,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						nodeRounds += res.Stats.NodeRounds
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(nodeRounds)/b.Elapsed().Seconds(), "node-rounds/s")
+				})
+			}
+		}
+	})
+	b.Run("multihop", func(b *testing.B) {
+		topo := multihop.Grid(32, 32)
+		n := topo.N()
+		cases := []struct {
+			name     string
+			schedule sim.Schedule
+			rounds   uint64
+		}{
+			{"dense", sim.Simultaneous{Count: n}, 1024},
+			{"sparse", sim.Staggered{Count: n, Gap: 4}, 4096},
+		}
+		for _, c := range cases {
+			c := c
+			for _, d := range dispatches {
+				d := d
+				b.Run(d.name+"/"+c.name, func(b *testing.B) {
+					b.ReportAllocs()
+					arena := baseline.NewRoundRobinArena(n, f, n)
+					var nodeRounds uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := multihop.Run(&multihop.Config{
+							F:         f,
+							T:         tBudget,
+							Seed:      uint64(i),
+							Topology:  topo,
+							NewAgent:  arena.NewAgent,
+							Schedule:  c.schedule,
+							Adversary: adversary.NewRandom(f, tBudget, uint64(i)),
+							MaxRounds: c.rounds,
+							RunToMax:  true,
+							NoBatch:   d.noBatch,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						nodeRounds += res.NodeRounds
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(nodeRounds)/b.Elapsed().Seconds(), "node-rounds/s")
+				})
+			}
+		}
+	})
+}
+
 // BenchmarkEngineConcurrent measures the goroutine-per-agent engine on the
 // same workload.
 func BenchmarkEngineConcurrent(b *testing.B) {

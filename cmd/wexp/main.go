@@ -10,6 +10,7 @@
 //	wexp -full                   # large grids: N to 16384, F to 128, multihop RGGs to 4096, rendezvous to F=128
 //	wexp -trials 50 -seed 7      # more repetitions / different seeds
 //	wexp -parallel 4             # trial-runner worker count (0 = one per CPU)
+//	wexp -run X10a -nobatch      # per-node dispatch (benchdiff baseline for the batch-stepping speedup)
 //	wexp -format markdown        # markdown tables (EXPERIMENTS.md bodies)
 //	wexp -format csv -out dir/   # one CSV file per experiment
 //	wexp -json                   # one machine-readable report on stdout
@@ -97,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick     = fs.Bool("quick", false, "smallest grids (smoke test)")
 		full      = fs.Bool("full", false, "large grids: N up to 16384, F up to 128, multihop RGGs up to 4096, rendezvous up to F=128")
 		parallel  = fs.Int("parallel", 0, "trial-runner worker goroutines (0 = one per CPU)")
+		noBatch   = fs.Bool("nobatch", false, "disable devirtualized batch stepping (per-node dispatch; results are bit-identical, only wall time moves)")
 		format    = fs.String("format", "text", "output format: text, markdown, csv, json")
 		jsonOut   = fs.Bool("json", false, "shorthand for -format json")
 		outDir    = fs.String("out", "", "write per-experiment files to this directory instead of stdout")
@@ -215,6 +217,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *full {
 			childArgs = append(childArgs, "-full")
 		}
+		if *noBatch {
+			childArgs = append(childArgs, "-nobatch")
+		}
 		if *runIDs != "" {
 			childArgs = append(childArgs, "-run", *runIDs)
 		}
@@ -224,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runDispatch(*dispatch, childArgs, stdout, stderr)
 	}
 
-	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, Full: *full, Parallelism: *parallel}
+	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, Full: *full, Parallelism: *parallel, NoBatch: *noBatch}
 
 	var selected []harness.Experiment
 	if *runIDs == "" {

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// TestArenasMatchDirectConstruction pins the arena contract for both
+// baseline protocols: arena-built runs (which also exercise the
+// batch-stepping path) are bit-identical to constructor-built runs (which
+// step per node), and to arena-built runs with batching disabled. The
+// Wakeup arena must preserve NewWakeup's exact UID bound (clamped but not
+// rounded to a power of two).
+func TestArenasMatchDirectConstruction(t *testing.T) {
+	const n, f = 24, 8
+	run := func(seed uint64, newAgent func(sim.NodeID, uint64, *rng.Rand) sim.Agent, noBatch bool) *sim.Result {
+		res, err := sim.Run(&sim.Config{
+			F:         f,
+			Seed:      seed,
+			NewAgent:  newAgent,
+			Schedule:  sim.Staggered{Count: n, Gap: 2},
+			MaxRounds: 20000,
+			NoBatch:   noBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	protos := []struct {
+		name   string
+		direct func(sim.NodeID, uint64, *rng.Rand) sim.Agent
+		arena  func() func(sim.NodeID, uint64, *rng.Rand) sim.Agent
+	}{
+		{
+			name: "wakeup",
+			direct: func(id sim.NodeID, act uint64, r *rng.Rand) sim.Agent {
+				return NewWakeup(n, f, r)
+			},
+			arena: func() func(sim.NodeID, uint64, *rng.Rand) sim.Agent {
+				return NewWakeupArena(n, f, n).NewAgent
+			},
+		},
+		{
+			name: "roundrobin",
+			direct: func(id sim.NodeID, act uint64, r *rng.Rand) sim.Agent {
+				return NewRoundRobin(n, f, r)
+			},
+			arena: func() func(sim.NodeID, uint64, *rng.Rand) sim.Agent {
+				return NewRoundRobinArena(n, f, n).NewAgent
+			},
+		},
+	}
+	for _, tc := range protos {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				direct := run(seed, tc.direct, false)
+				pooled := run(seed, tc.arena(), false)
+				pooledNoBatch := run(seed, tc.arena(), true)
+				if !reflect.DeepEqual(direct, pooled) {
+					t.Fatalf("seed %d: arena result differs from direct construction", seed)
+				}
+				if !reflect.DeepEqual(direct, pooledNoBatch) {
+					t.Fatalf("seed %d: NoBatch arena result differs from direct construction", seed)
+				}
+			}
+		})
+	}
+}

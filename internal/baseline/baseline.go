@@ -20,10 +20,15 @@ type Wakeup struct {
 	out       core.OutputState
 	adopted   bool // adopted someone else's numbering
 	committed bool // committed to its own numbering ("leader")
+
+	// arena is non-nil for arena-built nodes and doubles as the batch
+	// cohort key: one slab, one cohort.
+	arena *WakeupArena
 }
 
 var (
 	_ sim.Agent           = (*Wakeup)(nil)
+	_ sim.BatchAgent      = (*Wakeup)(nil)
 	_ sim.BroadcastProber = (*Wakeup)(nil)
 	_ sim.LeaderReporter  = (*Wakeup)(nil)
 )
@@ -41,6 +46,48 @@ func NewWakeup(n, f int, r *rng.Rand) *Wakeup {
 		uid:  core.NewUID(r, n),
 		dist: freqdist.NewUniform(1, f),
 	}
+}
+
+// WakeupArena pools Wakeup construction for one engine run: count slots in
+// one contiguous slab, with the participant-bound arithmetic done once.
+// NewAgent draws exactly what NewWakeup draws from the node's rng stream
+// (the UID bound is the clamped, not-yet-rounded n — preserved here so
+// arena-built runs are bit-identical to NewWakeup-built runs). Arena-built
+// nodes form one batch cohort (the arena pointer is the cohort key).
+type WakeupArena struct {
+	uidN  int // NewUID bound: clamped to >= 2, not rounded to a power of two
+	n     int // participant bound (power of two)
+	f     int
+	nodes []Wakeup
+}
+
+// NewWakeupArena returns an arena with count slots for a system of at most
+// n participants on f frequencies.
+func NewWakeupArena(n, f, count int) *WakeupArena {
+	if n < 2 {
+		n = 2
+	}
+	return &WakeupArena{
+		uidN:  n,
+		n:     freqdist.NextPow2(n),
+		f:     f,
+		nodes: make([]Wakeup, count),
+	}
+}
+
+// NewAgent constructs node id in its arena slot; it has the signature of
+// sim.Config.NewAgent and performs no allocation.
+func (a *WakeupArena) NewAgent(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+	w := &a.nodes[id]
+	*w = Wakeup{
+		n:     a.n,
+		f:     a.f,
+		r:     r,
+		uid:   core.NewUID(r, a.uidN),
+		dist:  freqdist.NewUniform(1, a.f),
+		arena: a,
+	}
+	return w
 }
 
 func (w *Wakeup) lg() int {
@@ -80,12 +127,44 @@ func (w *Wakeup) BroadcastProb() float64 {
 	return w.prob()
 }
 
-// Step implements sim.Agent.
+// Step implements sim.Agent. It is a thin wrapper over the packed step —
+// the single implementation both dispatch paths share, which is what makes
+// batch and per-node stepping byte-identical by construction.
 func (w *Wakeup) Step(local uint64) sim.Action {
+	var a sim.Action
+	f, tx := w.step(local, &a.Msg)
+	a.Freq, a.Transmit = int(f), tx
+	return a
+}
+
+// Cohort implements sim.BatchAgent: arena-built nodes batch per arena;
+// directly constructed nodes opt out.
+func (w *Wakeup) Cohort() any {
+	if w.arena == nil {
+		return nil
+	}
+	return w.arena
+}
+
+// StepBatch implements sim.BatchAgent: one devirtualized loop over the
+// cohort's slab, writing straight into the engine's action arrays. Message
+// payloads are written only for transmitters.
+func (w *Wakeup) StepBatch(ids []int, locals []uint64, actFreq []int32, actTx []bool, actMsg []msg.Message) {
+	nodes := w.arena.nodes
+	for j, id := range ids {
+		f, tx := nodes[id].step(locals[j], &actMsg[id])
+		actFreq[id] = f
+		actTx[id] = tx
+	}
+}
+
+// step advances the node one local round, writing the outgoing message via
+// m only when it transmits.
+func (w *Wakeup) step(local uint64, m *msg.Message) (freq int32, transmit bool) {
 	w.age = local
 	w.out.Tick()
 	if w.adopted {
-		return sim.Action{Freq: w.dist.Sample(w.r)}
+		return int32(w.dist.Sample(w.r)), false
 	}
 	if !w.committed && w.age > w.rampLen() {
 		// Heard nobody for the whole ramp: assume leadership.
@@ -96,20 +175,17 @@ func (w *Wakeup) Step(local uint64) sim.Action {
 	if w.committed {
 		p = 0.5
 	}
-	f := w.dist.Sample(w.r)
+	f := int32(w.dist.Sample(w.r))
 	if w.r.Bernoulli(p) {
-		return sim.Action{
-			Freq:     f,
-			Transmit: true,
-			Msg: msg.Message{
-				Kind:   msg.KindLeader,
-				TS:     msg.Timestamp{Age: w.age, UID: w.uid},
-				Round:  w.age, // proposed numbering: the sender's age
-				Scheme: w.uid,
-			},
+		*m = msg.Message{
+			Kind:   msg.KindLeader,
+			TS:     msg.Timestamp{Age: w.age, UID: w.uid},
+			Round:  w.age, // proposed numbering: the sender's age
+			Scheme: w.uid,
 		}
+		return f, true
 	}
-	return sim.Action{Freq: f}
+	return f, false
 }
 
 // Deliver implements sim.Agent: adopt the first larger timestamp's
@@ -185,6 +261,10 @@ type RoundRobin struct {
 
 	adopted   bool
 	committed bool
+
+	// arena is non-nil for arena-built nodes and doubles as the batch
+	// cohort key: one slab, one cohort.
+	arena *RoundRobinArena
 }
 
 // SelfCommitFrames is the number of 2F-round frames a RoundRobin node
@@ -193,6 +273,7 @@ const SelfCommitFrames = 8
 
 var (
 	_ sim.Agent          = (*RoundRobin)(nil)
+	_ sim.BatchAgent     = (*RoundRobin)(nil)
 	_ sim.LeaderReporter = (*RoundRobin)(nil)
 )
 
@@ -202,13 +283,69 @@ func NewRoundRobin(n, f int, r *rng.Rand) *RoundRobin {
 	return &RoundRobin{f: f, uid: core.NewUID(r, n)}
 }
 
-// Step implements sim.Agent.
+// RoundRobinArena pools RoundRobin construction for one engine run.
+// NewAgent draws exactly what NewRoundRobin draws (the UID bound n is used
+// raw, as the constructor uses it), so arena-built runs are bit-identical;
+// arena-built nodes form one batch cohort (the arena pointer is the key).
+type RoundRobinArena struct {
+	n     int
+	f     int
+	nodes []RoundRobin
+}
+
+// NewRoundRobinArena returns an arena with count slots for a system of at
+// most n participants on f frequencies.
+func NewRoundRobinArena(n, f, count int) *RoundRobinArena {
+	return &RoundRobinArena{n: n, f: f, nodes: make([]RoundRobin, count)}
+}
+
+// NewAgent constructs node id in its arena slot; it has the signature of
+// sim.Config.NewAgent and performs no allocation.
+func (a *RoundRobinArena) NewAgent(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+	rr := &a.nodes[id]
+	*rr = RoundRobin{f: a.f, uid: core.NewUID(r, a.n), arena: a}
+	return rr
+}
+
+// Step implements sim.Agent. It is a thin wrapper over the packed step —
+// the single implementation both dispatch paths share, which is what makes
+// batch and per-node stepping byte-identical by construction.
 func (rr *RoundRobin) Step(local uint64) sim.Action {
+	var a sim.Action
+	f, tx := rr.step(local, &a.Msg)
+	a.Freq, a.Transmit = int(f), tx
+	return a
+}
+
+// Cohort implements sim.BatchAgent: arena-built nodes batch per arena;
+// directly constructed nodes opt out.
+func (rr *RoundRobin) Cohort() any {
+	if rr.arena == nil {
+		return nil
+	}
+	return rr.arena
+}
+
+// StepBatch implements sim.BatchAgent: one devirtualized loop over the
+// cohort's slab, writing straight into the engine's action arrays. Message
+// payloads are written only for transmitters.
+func (rr *RoundRobin) StepBatch(ids []int, locals []uint64, actFreq []int32, actTx []bool, actMsg []msg.Message) {
+	nodes := rr.arena.nodes
+	for j, id := range ids {
+		f, tx := nodes[id].step(locals[j], &actMsg[id])
+		actFreq[id] = f
+		actTx[id] = tx
+	}
+}
+
+// step advances the node one local round, writing the outgoing message via
+// m only when it transmits.
+func (rr *RoundRobin) step(local uint64, m *msg.Message) (freq int32, transmit bool) {
 	rr.age = local
 	rr.out.Tick()
-	freq := 1 + int((rr.age+rr.uid)%uint64(rr.f))
+	f := int32(1 + (rr.age+rr.uid)%uint64(rr.f))
 	if rr.adopted {
-		return sim.Action{Freq: freq}
+		return f, false
 	}
 	if !rr.committed && rr.age > uint64(2*SelfCommitFrames*rr.f) {
 		rr.committed = true
@@ -221,18 +358,15 @@ func (rr *RoundRobin) Step(local uint64) sim.Action {
 		if rr.committed {
 			round = rr.out.Value()
 		}
-		return sim.Action{
-			Freq:     freq,
-			Transmit: true,
-			Msg: msg.Message{
-				Kind:   msg.KindLeader,
-				TS:     msg.Timestamp{Age: rr.age, UID: rr.uid},
-				Round:  round,
-				Scheme: rr.uid,
-			},
+		*m = msg.Message{
+			Kind:   msg.KindLeader,
+			TS:     msg.Timestamp{Age: rr.age, UID: rr.uid},
+			Round:  round,
+			Scheme: rr.uid,
 		}
+		return f, true
 	}
-	return sim.Action{Freq: freq}
+	return f, false
 }
 
 // Deliver implements sim.Agent.

@@ -26,6 +26,13 @@ type Options struct {
 	// sweep point's trials out across; 0 means one per CPU. Results are
 	// bit-identical at every parallelism level (see runner.go).
 	Parallelism int
+	// NoBatch disables the engines' devirtualized batch-stepping path,
+	// forcing per-node virtual dispatch (sim.Config.NoBatch). Simulation
+	// results are bit-identical either way; only wall time moves. The X10
+	// dispatch-throughput experiments record the mode in their tables so a
+	// benchdiff between a -nobatch report and a normal one reads as the
+	// devirtualization speedup.
+	NoBatch bool
 }
 
 // DefaultTrials is the per-point repetition count when Options.Trials is 0.
@@ -87,6 +94,9 @@ func All() []Experiment {
 		{ID: "R1", Title: "Two-party rendezvous vs band size and blocked fraction (R1)", Run: runR1},
 		{ID: "R2", Title: "k-party rendezvous scaling under churn (R2)", Run: runR2},
 		{ID: "R3", Title: "Rendezvous strategy gallery vs jammer gallery (R3)", Run: runR3},
+		{ID: "X10a", Title: "Dispatch throughput: Trapdoor, dense band (X10)", Run: runX10a},
+		{ID: "X10b", Title: "Dispatch throughput: Good Samaritan, dense band (X10)", Run: runX10b},
+		{ID: "X10c", Title: "Dispatch throughput: round-robin baseline, dense band (X10)", Run: runX10c},
 	}
 }
 

@@ -81,6 +81,11 @@ const (
 	ptX9Sim
 	ptX9Adversary
 	ptX9Model
+	// shared by X10a/b/c on purpose: the dispatch-throughput experiments
+	// are a paired protocol comparison — per row, the three protocols see
+	// the same engine seeds and the same adversary stream.
+	ptX10Sim
+	ptX10Adversary
 )
 
 // boolBit packs an ablation flag into a point key.

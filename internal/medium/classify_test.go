@@ -1,0 +1,81 @@
+package medium
+
+import (
+	"testing"
+
+	"wsync/internal/freqset"
+	"wsync/internal/rng"
+)
+
+// classifyReference is the per-frequency switch ClassifyTouched replaced;
+// kept here as its oracle.
+func classifyReference(r *Resolver, disrupted *freqset.Set, dst []int) (clear []int, collisions, jammed int) {
+	for _, f := range r.TouchedAscending() {
+		switch {
+		case r.Count(f) >= 2:
+			collisions++
+		case disrupted.Contains(f):
+			jammed++
+		default:
+			dst = append(dst, f)
+		}
+	}
+	return dst, collisions, jammed
+}
+
+// TestClassifyTouchedMatchesSwitch drives randomized rounds through two
+// identically fed resolvers and checks the branch-free classify against the
+// switch reference: same clear list, same collision and jam counts.
+func TestClassifyTouchedMatchesSwitch(t *testing.T) {
+	const f, n = 32, 64
+	r := rng.New(0xc1a551f7)
+	a := NewResolver(f, n, nil)
+	b := NewResolver(f, n, nil)
+	for round := 0; round < 500; round++ {
+		disrupted := freqset.New(f)
+		for k := 0; k < r.Intn(6); k++ {
+			disrupted.Add(1 + r.Intn(f))
+		}
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(0.4) {
+				freq := 1 + r.Intn(f)
+				a.Transmit(i, freq)
+				b.Transmit(i, freq)
+			}
+		}
+		gotClear, gotCol, gotJam := a.ClassifyTouched(disrupted, nil)
+		wantClear, wantCol, wantJam := classifyReference(b, disrupted, nil)
+		if gotCol != wantCol || gotJam != wantJam {
+			t.Fatalf("round %d: counts (%d, %d), want (%d, %d)", round, gotCol, gotJam, wantCol, wantJam)
+		}
+		if len(gotClear) != len(wantClear) {
+			t.Fatalf("round %d: clear %v, want %v", round, gotClear, wantClear)
+		}
+		for i := range gotClear {
+			if gotClear[i] != wantClear[i] {
+				t.Fatalf("round %d: clear %v, want %v", round, gotClear, wantClear)
+			}
+		}
+		a.Reset()
+		b.Reset()
+	}
+}
+
+// TestClassifyTouchedAppendsToDst checks that clear frequencies are appended
+// after dst's existing contents, which the engine relies on (it passes its
+// round record's Clear slice truncated to zero length).
+func TestClassifyTouchedAppendsToDst(t *testing.T) {
+	r := NewResolver(8, 4, nil)
+	r.Transmit(0, 3)
+	r.Transmit(1, 5)
+	r.Transmit(2, 5) // collision
+	r.Transmit(3, 7) // jammed below
+	disrupted := freqset.FromSlice(8, []int{7})
+	clear, col, jam := r.ClassifyTouched(disrupted, []int{-1})
+	if len(clear) != 2 || clear[0] != -1 || clear[1] != 3 {
+		t.Fatalf("clear = %v, want [-1 3]", clear)
+	}
+	if col != 1 || jam != 1 {
+		t.Fatalf("collisions, jammed = %d, %d, want 1, 1", col, jam)
+	}
+}

@@ -1,6 +1,10 @@
 package medium
 
-import "fmt"
+import (
+	"fmt"
+
+	"wsync/internal/freqset"
+)
 
 // Graph is the read-only topology view the resolver resolves receptions
 // against: an undirected communication graph over dense node indices
@@ -25,6 +29,7 @@ type Activation struct {
 	rounds  []uint64
 	buckets map[uint64][]int
 	active  []int
+	scratch []int // spare buffer the out-of-order merge swaps with active
 	max     uint64
 }
 
@@ -34,6 +39,8 @@ func NewActivation(rounds []uint64) *Activation {
 	a := &Activation{
 		rounds:  rounds,
 		buckets: make(map[uint64][]int),
+		active:  make([]int, 0, len(rounds)),
+		scratch: make([]int, 0, len(rounds)),
 	}
 	for i, r := range rounds {
 		// Range over the slice visits nodes in ascending index order, so
@@ -72,7 +79,9 @@ func (a *Activation) Wake(r uint64) []int {
 		a.active = append(old, bucket...)
 		return bucket
 	}
-	merged := make([]int, 0, len(old)+len(bucket))
+	// Merge into the spare buffer and swap it with the active list; both
+	// were preallocated at capacity len(rounds), so no round allocates.
+	merged := a.scratch[:0]
 	i, j := 0, 0
 	for i < len(old) && j < len(bucket) {
 		if old[i] < bucket[j] {
@@ -85,7 +94,7 @@ func (a *Activation) Wake(r uint64) []int {
 	}
 	merged = append(merged, old[i:]...)
 	merged = append(merged, bucket[j:]...)
-	a.active = merged
+	a.active, a.scratch = merged, old[:0]
 	return bucket
 }
 
@@ -198,6 +207,39 @@ func (r *Resolver) Count(f int) int { return r.txCount[f] }
 // From returns the transmitter on frequency f; meaningful when Count(f)
 // is exactly 1.
 func (r *Resolver) From(f int) int { return r.txLast[f] }
+
+// b2i converts a predicate to 0/1; the compiler lowers it to SETcc, so the
+// classify loop below carries no data-dependent branches.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ClassifyTouched classifies every frequency at least one node transmitted
+// on this round, in ascending order, into exactly one of three outcomes:
+// collision (two or more transmitters), jammed (a single transmitter on a
+// frequency in disrupted), or clear (a single undisrupted transmitter).
+// Clear frequencies are appended to dst, which is returned alongside the
+// collision and jammed counts.
+//
+// The classification is the branch-free equivalent of the per-frequency
+// switch the engines historically ran: each outcome is a packed 0/1
+// predicate, and the clear list is maintained by appending unconditionally
+// and retracting the slot when either predicate fired. Only the
+// TouchedAscending ordering pass has data-dependent control flow.
+func (r *Resolver) ClassifyTouched(disrupted *freqset.Set, dst []int) (clear []int, collisions, jammed int) {
+	for _, f := range r.TouchedAscending() {
+		multi := b2i(r.txCount[f] >= 2)
+		dis := b2i(disrupted.Contains(f)) &^ multi
+		collisions += multi
+		jammed += dis
+		dst = append(dst, f)
+		dst = dst[:len(dst)-multi-dis]
+	}
+	return dst, collisions, jammed
+}
 
 // Receive resolves what listener u hears on frequency f: the number of
 // transmitters in u's neighborhood on f, and one of them (the unique one

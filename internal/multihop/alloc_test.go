@@ -16,19 +16,62 @@ type allocAgent struct {
 	r     *rng.Rand
 	f     int
 	heard uint64
+	arena *allocArena
+}
+
+func (a *allocAgent) step(local uint64, m *msg.Message) (int32, bool) {
+	f := int32(a.r.IntRange(1, a.f))
+	if a.r.Bool() {
+		*m = msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: local}}
+		return f, true
+	}
+	return f, false
 }
 
 func (a *allocAgent) Step(local uint64) sim.Action {
-	act := sim.Action{Freq: a.r.IntRange(1, a.f)}
-	if a.r.Bool() {
-		act.Transmit = true
-		act.Msg = msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: local}}
-	}
+	var act sim.Action
+	f, tx := a.step(local, &act.Msg)
+	act.Freq, act.Transmit = int(f), tx
 	return act
 }
 
 func (a *allocAgent) Deliver(msg.Message) { a.heard++ }
 func (a *allocAgent) Output() sim.Output  { return sim.Output{} }
+
+func (a *allocAgent) Cohort() any {
+	if a.arena == nil {
+		return nil
+	}
+	return a.arena
+}
+
+func (a *allocAgent) StepBatch(ids []int, locals []uint64, actFreq []int32, actTx []bool, actMsg []msg.Message) {
+	nodes := a.arena.nodes
+	for j, id := range ids {
+		f, tx := nodes[id].step(locals[j], &actMsg[id])
+		actFreq[id] = f
+		actTx[id] = tx
+	}
+}
+
+// allocArena mirrors the protocol arenas: slab construction with no
+// per-activation allocation.
+type allocArena struct {
+	f     int
+	nodes []allocAgent
+}
+
+func (a *allocArena) NewAgent(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+	nd := &a.nodes[id]
+	*nd = allocAgent{r: r, f: a.f, arena: a}
+	return nd
+}
+
+// allocSchedule activates node i in round s[i].
+type allocSchedule []uint64
+
+func (s allocSchedule) N() int                       { return len(s) }
+func (s allocSchedule) ActivationRound(i int) uint64 { return s[i] }
 
 // allocFlip is churn.Flip re-implemented without the import cycle
 // (internal/churn imports this package): every base edge independently
@@ -119,5 +162,50 @@ func TestSteadyStateAllocs(t *testing.T) {
 				t.Fatal("churned subtest never applied a delta; the alloc check ran vacuously")
 			}
 		})
+	}
+}
+
+// TestActivationRoundAllocs extends the zero-alloc contract to activation
+// rounds on the multi-hop engine: with arena-built agents, a round that
+// wakes new nodes (Wake, arena construction, cohort insertion) allocates
+// nothing. Four stragglers activate inside the measured window.
+func TestActivationRoundAllocs(t *testing.T) {
+	const f, jam = 16, 4
+	topo := Grid(8, 8)
+	n := topo.N()
+	sched := make(allocSchedule, n)
+	for i := range sched {
+		sched[i] = 1
+	}
+	// Stragglers activate at rounds 72..102, inside the window.
+	sched[n-4], sched[n-3], sched[n-2], sched[n-1] = 72, 82, 92, 102
+	arena := &allocArena{f: f, nodes: make([]allocAgent, n)}
+	cfg := &Config{
+		F:         f,
+		T:         jam,
+		Seed:      7,
+		Topology:  topo,
+		NewAgent:  arena.NewAgent,
+		Schedule:  sched,
+		Adversary: adversary.NewRandom(f, jam, 99),
+		RunToMax:  true,
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := uint64(0)
+	for ; r < 64; r++ {
+		e.runRound(r + 1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r++
+		e.runRound(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("activation-inclusive round allocates %.1f objects, want 0", allocs)
+	}
+	if got := len(e.act.Active()); got != n {
+		t.Fatalf("only %d of %d nodes activated; the window missed the stragglers", got, n)
 	}
 }

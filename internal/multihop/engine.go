@@ -78,6 +78,10 @@ type Config struct {
 	// (TestMultihopMediumDifferential asserts the two paths produce
 	// bit-identical Results).
 	Medium sim.MediumPath
+	// NoBatch disables cohort batch-stepping (sim.BatchAgent), forcing
+	// every agent through the per-node Step fallback; results are
+	// bit-identical either way. Mirrors sim.Config.NoBatch.
+	NoBatch bool
 	// Churn, if non-nil, evolves the topology between rounds. The engine
 	// clones Config.Topology (the caller's graph is never mutated) and
 	// applies the model's per-round deltas to the clone in place —
@@ -141,8 +145,13 @@ type engine struct {
 
 	agents     []sim.Agent
 	activation []uint64
-	agentRNG   []*rng.Rand
+	agentRNG   []rng.Rand // one contiguous slab, pre-split at build
 	active     []bool
+
+	// batch groups awake nodes into same-constructor cohorts
+	// (sim.BatchAgent) so the round loop can advance each with one
+	// devirtualized StepBatch call, falling back to per-node Step.
+	batch *sim.BatchCohorts
 
 	// Per-node action state in struct-of-arrays layout, mirroring the
 	// single-hop engine: reception resolution touches only the packed
@@ -184,8 +193,9 @@ func newEngine(c *Config) (*engine, error) {
 		topo:       c.Topology,
 		agents:     make([]sim.Agent, n),
 		activation: make([]uint64, n),
-		agentRNG:   make([]*rng.Rand, n),
+		agentRNG:   make([]rng.Rand, n),
 		active:     make([]bool, n),
+		batch:      sim.NewBatchCohorts(n, c.NoBatch),
 		actFreq:    make([]int32, n),
 		actTx:      make([]bool, n),
 		actMsg:     make([]msg.Message, n),
@@ -215,7 +225,7 @@ func newEngine(c *Config) (*engine, error) {
 				return nil, fmt.Errorf("multihop: node %d activation %d", i, e.activation[i])
 			}
 		}
-		e.agentRNG[i] = master.Split(uint64(i))
+		master.SplitInto(uint64(i), &e.agentRNG[i])
 	}
 	e.act = medium.NewActivation(e.activation)
 	e.med = medium.NewResolver(c.F, n, e.topo)
@@ -384,20 +394,27 @@ func (e *engine) runRound(r uint64) (stop bool) {
 	}
 	for _, i := range e.act.Wake(r) {
 		e.active[i] = true
-		e.agents[i] = c.NewAgent(sim.NodeID(i), r, e.agentRNG[i])
+		a := c.NewAgent(sim.NodeID(i), r, &e.agentRNG[i])
+		e.agents[i] = a
+		e.batch.Add(i, a)
 		e.hist.Activated[i] = r
 		e.activatedCount++
 	}
 	disrupted := e.disruptedSet(r)
-	for _, i := range e.act.Active() {
+	e.batch.StepBatches(r, e.activation, e.actFreq, e.actTx, e.actMsg)
+	for _, i := range e.batch.Solo() {
 		a := e.agents[i].Step(r - e.activation[i] + 1)
-		if a.Freq < 1 || a.Freq > c.F {
-			panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, a.Freq))
-		}
 		e.actFreq[i] = int32(a.Freq)
 		e.actTx[i] = a.Transmit
 		if a.Transmit {
 			e.actMsg[i] = a.Msg
+		}
+	}
+	// One validation sweep over the awake nodes, covering batched and solo
+	// steps alike — equivalent to the per-step check it replaces.
+	for _, i := range e.act.Active() {
+		if f := int(e.actFreq[i]); f < 1 || f > c.F {
+			panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, f))
 		}
 	}
 	res.NodeRounds += uint64(len(e.act.Active()))

@@ -34,14 +34,21 @@ func New(seed uint64) *Rand {
 // parent stream is not advanced, so Split is safe to call at setup time in
 // any order.
 func (r *Rand) Split(key uint64) *Rand {
+	child := &Rand{}
+	r.SplitInto(key, child)
+	return child
+}
+
+// SplitInto is Split writing the derived state into dst instead of
+// allocating, so callers splitting once per node can lay the children out in
+// one contiguous slab. The stream is identical to Split's.
+func (r *Rand) SplitInto(key uint64, dst *Rand) {
 	// Mix the key into the parent state through splitmix64 so that nearby
 	// keys (0, 1, 2, ...) yield unrelated streams.
 	st := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ key*0x9e3779b97f4a7c15
-	child := &Rand{}
-	for i := range child.s {
-		child.s[i] = splitmix64(&st)
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&st)
 	}
-	return child
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -247,10 +247,15 @@ type Node struct {
 	fbEpochRound uint64
 
 	scheme uint64
+
+	// arena is non-nil for arena-built nodes and doubles as the batch
+	// cohort key: one slab, one cohort.
+	arena *Arena
 }
 
 var (
 	_ sim.Agent           = (*Node)(nil)
+	_ sim.BatchAgent      = (*Node)(nil)
 	_ sim.BroadcastProber = (*Node)(nil)
 	_ sim.LeaderReporter  = (*Node)(nil)
 )
@@ -291,6 +296,76 @@ func MustNew(p Params, r *rng.Rand) *Node {
 		panic(err)
 	}
 	return n
+}
+
+// Arena pools Node construction for one engine run: count slots in one
+// contiguous slab, the narrow-band distribution table (a pure function of
+// the parameters) shared across all slots, and each slot's samaritan tally
+// map preallocated once at build. NewAgent draws exactly what New draws
+// from the node's rng stream, so arena-built runs are bit-identical to
+// MustNew-built runs; slot i is only ever touched by node i. Arena-built
+// nodes form one batch cohort (the arena pointer is the cohort key).
+type Arena struct {
+	p      Params
+	narrow []freqdist.Uniform
+	nodes  []Node
+}
+
+// NewArena returns an arena with count slots for parameters p. It returns
+// an error for invalid parameters.
+func NewArena(p Params, count int) (*Arena, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	a := &Arena{
+		p:      p,
+		narrow: make([]freqdist.Uniform, p.LgF()),
+		nodes:  make([]Node, count),
+	}
+	for k := 1; k <= p.LgF(); k++ {
+		hi := 1 << uint(k)
+		if hi > p.F {
+			hi = p.F
+		}
+		a.narrow[k-1] = freqdist.NewUniform(1, hi)
+	}
+	for i := range a.nodes {
+		a.nodes[i].tallies = make(map[uint64]uint32)
+	}
+	return a, nil
+}
+
+// MustNewArena is NewArena for callers with static parameters.
+func MustNewArena(p Params, count int) *Arena {
+	a, err := NewArena(p, count)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NewAgent constructs node id in its arena slot, reusing the slot's tally
+// map; it has the signature of sim.Config.NewAgent and performs no
+// allocation.
+func (a *Arena) NewAgent(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+	nd := &a.nodes[id]
+	t := nd.tallies
+	clear(t)
+	*nd = Node{
+		p:       a.p,
+		r:       r,
+		uid:     core.NewUID(r, a.p.N),
+		role:    core.RoleContender,
+		super:   1,
+		epoch:   1,
+		narrow:  a.narrow,
+		wide:    freqdist.NewUniform(1, a.p.F),
+		special: freqdist.NewSpecial(a.p.F),
+		tallies: t,
+		arena:   a,
+	}
+	return nd
 }
 
 // UID returns the node's identifier.
@@ -353,8 +428,40 @@ func (n *Node) advanceOptimistic() bool {
 	return true
 }
 
-// Step implements sim.Agent.
+// Step implements sim.Agent. It is a thin wrapper over the packed step —
+// the single implementation both dispatch paths share, which is what makes
+// batch and per-node stepping byte-identical by construction.
 func (n *Node) Step(local uint64) sim.Action {
+	var a sim.Action
+	f, tx := n.step(local, &a.Msg)
+	a.Freq, a.Transmit = int(f), tx
+	return a
+}
+
+// Cohort implements sim.BatchAgent: arena-built nodes batch per arena;
+// directly constructed nodes opt out.
+func (n *Node) Cohort() any {
+	if n.arena == nil {
+		return nil
+	}
+	return n.arena
+}
+
+// StepBatch implements sim.BatchAgent: one devirtualized loop over the
+// cohort's slab, writing straight into the engine's action arrays. Message
+// payloads are written only for transmitters.
+func (n *Node) StepBatch(ids []int, locals []uint64, actFreq []int32, actTx []bool, actMsg []msg.Message) {
+	nodes := n.arena.nodes
+	for j, id := range ids {
+		f, tx := nodes[id].step(locals[j], &actMsg[id])
+		actFreq[id] = f
+		actTx[id] = tx
+	}
+}
+
+// step advances the node one local round, writing the outgoing message via
+// m only when it transmits.
+func (n *Node) step(local uint64, m *msg.Message) (freq int32, transmit bool) {
 	n.age = local
 	n.out.Tick()
 	n.thisSpecial = false
@@ -362,21 +469,21 @@ func (n *Node) Step(local uint64) sim.Action {
 	switch n.role {
 	case core.RoleContender, core.RoleSamaritan:
 		if !n.advanceOptimistic() {
-			return n.fallbackAction()
+			return n.fallbackStep(m)
 		}
-		return n.optimisticAction()
+		return n.optimisticStep(m)
 	case core.RoleFallback:
-		return n.fallbackAction()
+		return n.fallbackStep(m)
 	case core.RoleLeader:
-		return n.leaderAction()
+		return n.leaderStep(m)
 	default: // passive or synced: listen on a robust mixture
-		return n.passiveAction()
+		return n.passiveStep(), false
 	}
 }
 
-// optimisticAction implements the Figure 2 round behavior for contenders
+// optimisticStep implements the Figure 2 round behavior for contenders
 // and samaritans.
-func (n *Node) optimisticAction() sim.Action {
+func (n *Node) optimisticStep(m *msg.Message) (int32, bool) {
 	lgN := n.p.LgN()
 	kDist := n.narrow[n.super-1]
 
@@ -389,27 +496,29 @@ func (n *Node) optimisticAction() sim.Action {
 			f = n.wide.Sample(n.r)
 		}
 		if n.r.Bernoulli(n.p.BroadcastProb(n.epoch)) {
-			return sim.Action{Freq: f, Transmit: true, Msg: n.protocolMessage()}
+			*m = n.protocolMessage()
+			return int32(f), true
 		}
-		return sim.Action{Freq: f}
+		return int32(f), false
 	}
 
 	// Last two epochs: half normal narrow-band rounds, half special rounds.
 	if n.r.Bool() {
 		f := kDist.Sample(n.r)
 		if n.r.Bernoulli(n.p.BroadcastProb(n.epoch)) {
-			return sim.Action{Freq: f, Transmit: true, Msg: n.protocolMessage()}
+			*m = n.protocolMessage()
+			return int32(f), true
 		}
-		return sim.Action{Freq: f}
+		return int32(f), false
 	}
 	n.thisSpecial = true
 	f := n.special.Sample(n.r)
 	if n.r.Bool() {
-		m := n.protocolMessage()
+		*m = n.protocolMessage()
 		m.Special = true
-		return sim.Action{Freq: f, Transmit: true, Msg: m}
+		return int32(f), true
 	}
-	return sim.Action{Freq: f}
+	return int32(f), false
 }
 
 // protocolMessage builds the node's contender or samaritan message for the
@@ -451,17 +560,17 @@ func (n *Node) topReports() []msg.Report {
 	return reports
 }
 
-// fallbackAction implements the modified Trapdoor portion: a fair coin
+// fallbackStep implements the modified Trapdoor portion: a fair coin
 // decides between a Trapdoor round (full-band competition, probability
 // ramp, timestamps honored) and a Good Samaritan special round.
-func (n *Node) fallbackAction() sim.Action {
+func (n *Node) fallbackStep(m *msg.Message) (int32, bool) {
 	// Epoch bookkeeping advances every round.
 	for n.fbEpochRound >= n.p.FallbackEpochLen() {
 		n.fbEpochRound = 0
 		n.fbEpoch++
 		if n.fbEpoch > n.p.LgN() {
 			n.becomeLeader()
-			return n.leaderAction()
+			return n.leaderStep(m)
 		}
 	}
 	n.fbEpochRound++
@@ -470,19 +579,19 @@ func (n *Node) fallbackAction() sim.Action {
 		// Trapdoor round on the full band.
 		f := n.wide.Sample(n.r)
 		if n.r.Bernoulli(n.p.BroadcastProb(n.fbEpoch)) {
-			m := msg.Message{Kind: msg.KindContender, TS: n.timestamp(), Fallback: true}
-			return sim.Action{Freq: f, Transmit: true, Msg: m}
+			*m = msg.Message{Kind: msg.KindContender, TS: n.timestamp(), Fallback: true}
+			return int32(f), true
 		}
-		return sim.Action{Freq: f}
+		return int32(f), false
 	}
 	// Special round.
 	n.thisSpecial = true
 	f := n.special.Sample(n.r)
 	if n.r.Bool() {
-		m := msg.Message{Kind: msg.KindContender, TS: n.timestamp(), Fallback: true, Special: true}
-		return sim.Action{Freq: f, Transmit: true, Msg: m}
+		*m = msg.Message{Kind: msg.KindContender, TS: n.timestamp(), Fallback: true, Special: true}
+		return int32(f), true
 	}
-	return sim.Action{Freq: f}
+	return int32(f), false
 }
 
 // becomeLeader promotes the node and fixes the numbering scheme.
@@ -494,32 +603,29 @@ func (n *Node) becomeLeader() {
 	}
 }
 
-// leaderAction announces the numbering on the special-round distribution.
-func (n *Node) leaderAction() sim.Action {
-	f := n.special.Sample(n.r)
+// leaderStep announces the numbering on the special-round distribution.
+func (n *Node) leaderStep(m *msg.Message) (int32, bool) {
+	f := int32(n.special.Sample(n.r))
 	if n.r.Bernoulli(n.p.LeaderTxProb) {
-		return sim.Action{
-			Freq:     f,
-			Transmit: true,
-			Msg: msg.Message{
-				Kind:   msg.KindLeader,
-				TS:     n.timestamp(),
-				Round:  n.out.Value(),
-				Scheme: n.scheme,
-			},
+		*m = msg.Message{
+			Kind:   msg.KindLeader,
+			TS:     n.timestamp(),
+			Round:  n.out.Value(),
+			Scheme: n.scheme,
 		}
+		return f, true
 	}
-	return sim.Action{Freq: f}
+	return f, false
 }
 
-// passiveAction listens on a mixture of the full band and the special
+// passiveStep listens on a mixture of the full band and the special
 // distribution, which meets the leader's announcement distribution often
 // enough on undisrupted frequencies.
-func (n *Node) passiveAction() sim.Action {
+func (n *Node) passiveStep() int32 {
 	if n.r.Bool() {
-		return sim.Action{Freq: n.wide.Sample(n.r)}
+		return int32(n.wide.Sample(n.r))
 	}
-	return sim.Action{Freq: n.special.Sample(n.r)}
+	return int32(n.special.Sample(n.r))
 }
 
 // Deliver implements sim.Agent.

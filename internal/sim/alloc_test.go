@@ -44,19 +44,64 @@ type steadyAgent struct {
 	r     *rng.Rand
 	f     int
 	heard uint64
+	arena *steadyArena
+}
+
+func (a *steadyAgent) step(local uint64, m *msg.Message) (int32, bool) {
+	f := int32(a.r.IntRange(1, a.f))
+	if a.r.Bool() {
+		*m = msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: local}}
+		return f, true
+	}
+	return f, false
 }
 
 func (a *steadyAgent) Step(local uint64) Action {
-	act := Action{Freq: a.r.IntRange(1, a.f)}
-	if a.r.Bool() {
-		act.Transmit = true
-		act.Msg = msg.Message{Kind: msg.KindContender, TS: msg.Timestamp{Age: local}}
-	}
+	var act Action
+	f, tx := a.step(local, &act.Msg)
+	act.Freq, act.Transmit = int(f), tx
 	return act
 }
 
 func (a *steadyAgent) Deliver(msg.Message) { a.heard++ }
 func (a *steadyAgent) Output() Output      { return Output{} }
+
+func (a *steadyAgent) Cohort() any {
+	if a.arena == nil || a.arena.solo {
+		return nil
+	}
+	return a.arena
+}
+
+func (a *steadyAgent) StepBatch(ids []int, locals []uint64, actFreq []int32, actTx []bool, actMsg []msg.Message) {
+	nodes := a.arena.nodes
+	for j, id := range ids {
+		f, tx := nodes[id].step(locals[j], &actMsg[id])
+		actFreq[id] = f
+		actTx[id] = tx
+	}
+}
+
+// steadyArena mirrors the protocol arenas: slab construction with no
+// per-activation allocation. With solo set, its agents opt out of batching
+// (Cohort() nil) so the per-node fallback's activation path is pinned too.
+type steadyArena struct {
+	f     int
+	solo  bool
+	nodes []steadyAgent
+}
+
+func (a *steadyArena) NewAgent(id NodeID, activation uint64, r *rng.Rand) Agent {
+	nd := &a.nodes[id]
+	*nd = steadyAgent{r: r, f: a.f, arena: a}
+	return nd
+}
+
+// allocSchedule activates node i in round s[i].
+type allocSchedule []uint64
+
+func (s allocSchedule) N() int                       { return len(s) }
+func (s allocSchedule) ActivationRound(i int) uint64 { return s[i] }
 
 // allocCompleteGraph is an explicit complete graph: semantically the same
 // medium as the resolver's nil-graph fast path, but forcing graph-mode
@@ -146,6 +191,61 @@ func TestSteadyStateAllocs(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("steady-state round allocates %.1f objects, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestActivationRoundAllocs extends the zero-alloc contract to activation
+// rounds: with arena-built agents (rng states pre-split into the engine's
+// slab, construction into arena slots), a round that wakes new nodes
+// allocates nothing either. Warm-up activates the bulk of the population;
+// four stragglers then activate inside the measured window, exercising
+// Wake, arena construction, and cohort insertion (batch variant) or the
+// sorted solo list (solo variant) under AllocsPerRun.
+func TestActivationRoundAllocs(t *testing.T) {
+	const f, jam, n = 16, 4, 64
+	for _, tc := range []struct {
+		name string
+		solo bool
+	}{{name: "batch"}, {name: "solo", solo: true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := make(allocSchedule, n)
+			for i := range sched {
+				sched[i] = 1
+			}
+			// Stragglers activate at rounds 72..102, inside the window.
+			sched[n-4], sched[n-3], sched[n-2], sched[n-1] = 72, 82, 92, 102
+			arena := &steadyArena{f: f, solo: tc.solo, nodes: make([]steadyAgent, n)}
+			cfg := &Config{
+				F:        f,
+				T:        jam,
+				Seed:     7,
+				NewAgent: arena.NewAgent,
+				Adversary: &allocJammer{
+					f: f, t: jam, r: rng.New(99), set: freqset.New(f),
+					scratch: make([]int, 0, jam),
+				},
+				RunToMaxRounds: true,
+				Schedule:       sched,
+			}
+			e, err := newEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := uint64(0)
+			for ; r < 64; r++ {
+				e.runRound(r + 1)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				r++
+				e.runRound(r)
+			})
+			if allocs != 0 {
+				t.Fatalf("activation-inclusive round allocates %.1f objects, want 0", allocs)
+			}
+			if e.activatedCount != n {
+				t.Fatalf("only %d of %d nodes activated; the window missed the stragglers", e.activatedCount, n)
 			}
 		})
 	}

@@ -54,7 +54,7 @@ func RunConcurrent(cfg *Config) (*Result, error) {
 							continue
 						}
 						e.active[i] = true
-						e.agents[i] = e.cfg.NewAgent(NodeID(i), cmd.round, e.agentRNG[i])
+						e.agents[i] = e.cfg.NewAgent(NodeID(i), cmd.round, &e.agentRNG[i])
 					}
 					e.probeWeight(i)
 					e.stepAgent(i, cmd.round)

@@ -29,10 +29,15 @@ type engine struct {
 	cfg *Config
 	n   int
 
-	agents        []Agent  // nil until activation
-	activation    []uint64 // per node
-	agentRNG      []*rng.Rand
+	agents        []Agent    // nil until activation
+	activation    []uint64   // per node
+	agentRNG      []rng.Rand // one contiguous slab, pre-split at build
 	maxActivation uint64
+
+	// batch groups awake nodes into same-constructor cohorts (BatchAgent);
+	// the sequential round loop steps each cohort with one devirtualized
+	// StepBatch call and falls back to per-node Step for the rest.
+	batch *BatchCohorts
 
 	// Per-node action state in struct-of-arrays layout: the medium
 	// resolvers' classification loops touch only the packed frequency and
@@ -61,7 +66,8 @@ type engine struct {
 
 	// per-frequency scratch (index 1..F) used only by the legacy scan
 	// resolver, which sweeps all of [1..F] every round; the indexed path
-	// keeps its frequency state inside med.
+	// keeps its frequency state inside med. Allocated lazily on the first
+	// scan round, so the default indexed path pays no O(F) setup memory.
 	txCount []int
 	txFrom  []NodeID
 
@@ -85,21 +91,20 @@ func newEngine(cfg *Config) (*engine, error) {
 		n:          n,
 		agents:     make([]Agent, n),
 		activation: make([]uint64, n),
-		agentRNG:   make([]*rng.Rand, n),
+		agentRNG:   make([]rng.Rand, n),
 		actFreq:    make([]int32, n),
 		actTx:      make([]bool, n),
 		actMsg:     make([]msg.Message, n),
 		active:     make([]bool, n),
 		pending:    make([]msg.Message, n),
 		hasPending: make([]bool, n),
-		txCount:    make([]int, cfg.F+1),
-		txFrom:     make([]NodeID, cfg.F+1),
 		emptySet:   freqset.New(cfg.F),
+		batch:      NewBatchCohorts(n, cfg.NoBatch),
 	}
 	master := rng.New(cfg.Seed)
 	for i := 0; i < n; i++ {
 		e.activation[i] = cfg.Schedule.ActivationRound(i)
-		e.agentRNG[i] = master.Split(uint64(i))
+		master.SplitInto(uint64(i), &e.agentRNG[i])
 	}
 	e.act = medium.NewActivation(e.activation)
 	e.maxActivation = e.act.Max()
@@ -140,7 +145,9 @@ func (e *engine) maxRounds() uint64 {
 func (e *engine) activateRound(r uint64) {
 	for _, i := range e.act.Wake(r) {
 		e.active[i] = true
-		e.agents[i] = e.cfg.NewAgent(NodeID(i), r, e.agentRNG[i])
+		a := e.cfg.NewAgent(NodeID(i), r, &e.agentRNG[i])
+		e.agents[i] = a
+		e.batch.Add(i, a)
 		e.hist.Activated[i] = r
 		e.activatedCount++
 	}
@@ -201,6 +208,10 @@ func (e *engine) badFreq(i int, freq int) {
 // path.
 func (e *engine) resolveScan(r uint64, disrupted *freqset.Set) {
 	rec := &e.rec
+	if e.txCount == nil {
+		e.txCount = make([]int, e.cfg.F+1)
+		e.txFrom = make([]NodeID, e.cfg.F+1)
+	}
 	for f := 1; f <= e.cfg.F; f++ {
 		e.txCount[f] = 0
 	}
@@ -274,20 +285,15 @@ func (e *engine) resolveIndexed(r uint64, disrupted *freqset.Set) {
 	}
 
 	// Classify the touched frequencies in ascending order, matching the
-	// scan path's [1..F] sweep bit for bit.
-	for _, f := range med.TouchedAscending() {
-		switch {
-		case med.Count(f) >= 2:
-			e.res.Stats.Collisions++
-		case disrupted.Contains(f):
-			e.res.Stats.DisruptedLosses++
-		default:
-			rec.Clear = append(rec.Clear, f)
-			e.res.Stats.ClearBroadcasts++
-			if e.res.FirstClear == 0 {
-				e.res.FirstClear = r
-			}
-		}
+	// scan path's [1..F] sweep bit for bit. The branch-free classify
+	// appends clear frequencies to rec.Clear (which is [:0] at entry).
+	var nCol, nJam int
+	rec.Clear, nCol, nJam = med.ClassifyTouched(disrupted, rec.Clear)
+	e.res.Stats.Collisions += uint64(nCol)
+	e.res.Stats.DisruptedLosses += uint64(nJam)
+	e.res.Stats.ClearBroadcasts += uint64(len(rec.Clear))
+	if e.res.FirstClear == 0 && len(rec.Clear) > 0 {
+		e.res.FirstClear = r
 	}
 
 	// Queue deliveries to listeners on clear single-transmitter channels;
@@ -431,8 +437,13 @@ func (e *engine) stepAgent(i int, r uint64) {
 func (e *engine) runRound(r uint64) (stop bool) {
 	e.activateRound(r)
 	disrupted := e.disruptedSet(r)
-	for _, i := range e.act.Active() {
-		e.probeWeight(i)
+	if e.rec.Weights != nil {
+		for _, i := range e.act.Active() {
+			e.probeWeight(i)
+		}
+	}
+	e.batch.StepBatches(r, e.activation, e.actFreq, e.actTx, e.actMsg)
+	for _, i := range e.batch.Solo() {
 		e.stepAgent(i, r)
 	}
 	e.resolve(r, disrupted)

@@ -253,6 +253,11 @@ type Config struct {
 	// frequency-indexed fast path. MediumScan forces the legacy O(F + N)
 	// scan, which exists as a differential-testing oracle.
 	Medium MediumPath
+	// NoBatch disables cohort batch-stepping (BatchAgent), forcing every
+	// agent through the per-node Step fallback. Results are bit-identical
+	// either way (TestBatchStepMatchesPerNode pins this); the flag exists
+	// as the differential-testing oracle and for dispatch-cost benchmarks.
+	NoBatch bool
 }
 
 // DefaultMaxRounds bounds runs whose Config leaves MaxRounds zero.

@@ -1,0 +1,44 @@
+package trapdoor
+
+import (
+	"reflect"
+	"testing"
+
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// TestArenaMatchesDirectConstruction pins the arena contract: an arena-built
+// run (which also exercises the batch-stepping path) is bit-identical to a
+// MustNew-built run (which steps per node), and to an arena-built run with
+// batching disabled.
+func TestArenaMatchesDirectConstruction(t *testing.T) {
+	p := Params{N: 16, F: 8, T: 2}
+	run := func(seed uint64, newAgent func(sim.NodeID, uint64, *rng.Rand) sim.Agent, noBatch bool) *sim.Result {
+		res, err := sim.Run(&sim.Config{
+			F:        8,
+			T:        2,
+			Seed:     seed,
+			NewAgent: newAgent,
+			Schedule: sim.Staggered{Count: 16, Gap: 3},
+			NoBatch:  noBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		direct := run(seed, func(id sim.NodeID, act uint64, r *rng.Rand) sim.Agent {
+			return MustNew(p, r)
+		}, false)
+		pooled := run(seed, MustNewArena(p, 16).NewAgent, false)
+		pooledNoBatch := run(seed, MustNewArena(p, 16).NewAgent, true)
+		if !reflect.DeepEqual(direct, pooled) {
+			t.Fatalf("seed %d: arena result differs from direct construction", seed)
+		}
+		if !reflect.DeepEqual(direct, pooledNoBatch) {
+			t.Fatalf("seed %d: NoBatch arena result differs from direct construction", seed)
+		}
+	}
+}

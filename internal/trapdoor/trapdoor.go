@@ -205,10 +205,15 @@ type Node struct {
 	leaderHeard  int    // leader messages received (for CommitThreshold)
 	lastLeader   uint64 // local round when a leader was last heard
 	everRestarts int
+
+	// arena is non-nil for arena-built nodes and doubles as the batch
+	// cohort key: one slab, one cohort.
+	arena *Arena
 }
 
 var (
 	_ sim.Agent           = (*Node)(nil)
+	_ sim.BatchAgent      = (*Node)(nil)
 	_ sim.BroadcastProber = (*Node)(nil)
 	_ sim.LeaderReporter  = (*Node)(nil)
 )
@@ -238,6 +243,52 @@ func MustNew(p Params, r *rng.Rand) *Node {
 		panic(err)
 	}
 	return n
+}
+
+// Arena pools Node construction for one engine run: count slots laid out in
+// one contiguous slab, with parameters validated and defaulted once. Its
+// NewAgent matches sim.Config.NewAgent and draws exactly what New draws from
+// the node's rng stream, so arena-built runs are bit-identical to
+// MustNew-built runs; slot i is only ever touched by node i, so the arena is
+// safe under RunConcurrent's disjoint node ownership. Arena-built nodes form
+// one batch cohort (the arena pointer is the cohort key).
+type Arena struct {
+	p     Params
+	nodes []Node
+}
+
+// NewArena returns an arena with count slots for parameters p. It returns
+// an error for invalid parameters.
+func NewArena(p Params, count int) (*Arena, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Arena{p: p.withDefaults(), nodes: make([]Node, count)}, nil
+}
+
+// MustNewArena is NewArena for callers with static parameters.
+func MustNewArena(p Params, count int) *Arena {
+	a, err := NewArena(p, count)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NewAgent constructs node id in its arena slot; it has the signature of
+// sim.Config.NewAgent and performs no allocation.
+func (a *Arena) NewAgent(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+	nd := &a.nodes[id]
+	*nd = Node{
+		p:     a.p,
+		r:     r,
+		dist:  freqdist.NewUniform(1, a.p.FPrime()),
+		uid:   core.NewUID(r, a.p.N),
+		role:  core.RoleContender,
+		epoch: 1,
+		arena: a,
+	}
+	return nd
 }
 
 // UID returns the node's identifier (visible for tests and tools).
@@ -299,8 +350,40 @@ func (n *Node) restart() {
 	n.everRestarts++
 }
 
-// Step implements sim.Agent.
+// Step implements sim.Agent. It is a thin wrapper over the packed step —
+// the single implementation both dispatch paths share, which is what makes
+// batch and per-node stepping byte-identical by construction.
 func (n *Node) Step(local uint64) sim.Action {
+	var a sim.Action
+	f, tx := n.step(local, &a.Msg)
+	a.Freq, a.Transmit = int(f), tx
+	return a
+}
+
+// Cohort implements sim.BatchAgent: arena-built nodes batch per arena;
+// directly constructed nodes opt out.
+func (n *Node) Cohort() any {
+	if n.arena == nil {
+		return nil
+	}
+	return n.arena
+}
+
+// StepBatch implements sim.BatchAgent: one devirtualized loop over the
+// cohort's slab, writing straight into the engine's action arrays. Message
+// payloads are written only for transmitters.
+func (n *Node) StepBatch(ids []int, locals []uint64, actFreq []int32, actTx []bool, actMsg []msg.Message) {
+	nodes := n.arena.nodes
+	for j, id := range ids {
+		f, tx := nodes[id].step(locals[j], &actMsg[id])
+		actFreq[id] = f
+		actTx[id] = tx
+	}
+}
+
+// step advances the node one local round, writing the outgoing message via
+// m only when it transmits.
+func (n *Node) step(local uint64, m *msg.Message) (freq int32, transmit bool) {
 	n.age = local
 	n.out.Tick()
 
@@ -318,25 +401,22 @@ func (n *Node) Step(local uint64) sim.Action {
 			n.epoch++
 			if n.epoch > n.p.LgN() {
 				n.becomeLeader()
-				return n.leaderAction()
+				return n.leaderStep(m)
 			}
 		}
 		n.epochRound++
-		f := n.dist.Sample(n.r)
+		f := int32(n.dist.Sample(n.r))
 		if n.r.Bernoulli(n.p.BroadcastProb(n.epoch)) {
-			return sim.Action{
-				Freq:     f,
-				Transmit: true,
-				Msg:      msg.Message{Kind: msg.KindContender, TS: n.timestamp()},
-			}
+			*m = msg.Message{Kind: msg.KindContender, TS: n.timestamp()}
+			return f, true
 		}
-		return sim.Action{Freq: f}
+		return f, false
 
 	case core.RoleLeader:
-		return n.leaderAction()
+		return n.leaderStep(m)
 
 	default: // knocked out, synced: listen on a random competition channel
-		return sim.Action{Freq: n.dist.Sample(n.r)}
+		return int32(n.dist.Sample(n.r)), false
 	}
 }
 
@@ -351,22 +431,19 @@ func (n *Node) becomeLeader() {
 	}
 }
 
-// leaderAction announces the numbering with probability LeaderTxProb.
-func (n *Node) leaderAction() sim.Action {
-	f := n.dist.Sample(n.r)
+// leaderStep announces the numbering with probability LeaderTxProb.
+func (n *Node) leaderStep(m *msg.Message) (freq int32, transmit bool) {
+	f := int32(n.dist.Sample(n.r))
 	if n.r.Bernoulli(n.p.LeaderTxProb) {
-		return sim.Action{
-			Freq:     f,
-			Transmit: true,
-			Msg: msg.Message{
-				Kind:   msg.KindLeader,
-				TS:     n.timestamp(),
-				Round:  n.out.Value(),
-				Scheme: n.scheme,
-			},
+		*m = msg.Message{
+			Kind:   msg.KindLeader,
+			TS:     n.timestamp(),
+			Round:  n.out.Value(),
+			Scheme: n.scheme,
 		}
+		return f, true
 	}
-	return sim.Action{Freq: f}
+	return f, false
 }
 
 // Deliver implements sim.Agent.

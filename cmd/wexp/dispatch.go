@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"sync"
+	"syscall"
 
 	"wsync/internal/shard"
 )
@@ -20,7 +24,17 @@ import (
 // share nothing but flags, exactly like workers on K machines, and the
 // merged output is byte-identical (modulo the volatile wall-time and
 // parallelism fields) to an unsharded run.
+//
+// Interrupting the dispatcher (SIGINT/SIGTERM) must not orphan the K
+// children or race the temp-dir cleanup against their writes: the
+// children run under a signal-cancelled context, so the first signal
+// kills them all, every goroutine joins, and only then does the deferred
+// RemoveAll run. TestDispatchInterruptKillsChildren pins this with a
+// deliberately slow child.
 func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
@@ -52,14 +66,15 @@ func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
 	}
 
 	// Children run concurrently — each is an independent worker; their
-	// stderr streams interleave through one locked writer.
+	// stderr streams interleave through one locked writer. CommandContext
+	// kills them when the signal context fires.
 	childErr := &lockedWriter{w: stderr}
 	errs := make([]error, k)
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
 		args := append(append([]string{}, childArgs...),
 			"-shards", strconv.Itoa(k), "-shard-index", strconv.Itoa(i), "-json")
-		cmd := exec.Command(exe, args...)
+		cmd := exec.CommandContext(ctx, exe, args...)
 		cmd.Stdout = files[i]
 		cmd.Stderr = childErr
 		// The variable lets the test binary reroute itself into run();
@@ -76,21 +91,37 @@ func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
 		}(i, cmd, files[i])
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		fmt.Fprintf(stderr, "wexp: -dispatch: interrupted; killed %d shard subprocesses\n", k)
+		return 1
+	}
+
+	// Report every failing shard, not just the first: with K independent
+	// workers, the shard that crashed last is as diagnostic as the one
+	// that crashed first, and a single message would hide K-1 of them.
+	failed := false
 	for i, err := range errs {
 		if err != nil {
 			fmt.Fprintf(stderr, "wexp: -dispatch: shard %d: %v\n", i, err)
-			return 1
+			failed = true
 		}
+	}
+	if failed {
+		return 1
 	}
 
 	reps := make([]*shard.Report, k)
 	for i, p := range paths {
-		r, err := shard.ReadFile(p)
+		r, err := readShardArtifact(p, i)
 		if err != nil {
-			fmt.Fprintf(stderr, "wexp: -dispatch: shard %d: %v\n", i, err)
-			return 1
+			fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
+			failed = true
+			continue
 		}
 		reps[i] = r
+	}
+	if failed {
+		return 1
 	}
 	merged, err := shard.Merge(reps)
 	if err != nil {
@@ -102,6 +133,29 @@ func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// readShardArtifact decodes shard i's artifact, mapping the two shapes a
+// crashed child leaves behind — an empty file (exited before its first
+// write) and a truncated JSON document (killed mid-write) — to
+// diagnostics that name the real failure instead of surfacing a raw
+// decode error.
+func readShardArtifact(path string, i int) (*shard.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", i, err)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("shard %d exited before writing its artifact", i)
+	}
+	r, err := shard.Decode(data)
+	if err != nil {
+		if !json.Valid(data) {
+			return nil, fmt.Errorf("shard %d exited before finishing its artifact (truncated after %d bytes)", i, len(data))
+		}
+		return nil, fmt.Errorf("shard %d: %w", i, err)
+	}
+	return r, nil
 }
 
 // lockedWriter serializes concurrent writes from the shard subprocesses'

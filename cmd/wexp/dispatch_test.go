@@ -1,0 +1,218 @@
+//go:build unix
+
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDispatchReportsAllFailures pins the every-shard error contract:
+// when all K children fail, the dispatcher names each one instead of
+// returning after the first.
+func TestDispatchReportsAllFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	var stdout, stderr bytes.Buffer
+	// Every child rejects the unknown experiment id and exits 2.
+	code := runDispatch(3, []string{"-run", "ZZZ"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(stderr.String(), fmt.Sprintf("shard %d:", i)) {
+			t.Errorf("stderr does not report shard %d:\n%s", i, stderr.String())
+		}
+	}
+}
+
+// TestDispatchEmptyArtifactDiagnostic maps a child that exited cleanly
+// without writing its artifact to the "exited before writing" message —
+// not a raw JSON decode error — and reports every such shard.
+func TestDispatchEmptyArtifactDiagnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	t.Setenv("WEXP_TEST_CHILD_MODE", "exit-silent")
+	var stdout, stderr bytes.Buffer
+	code := runDispatch(2, []string{"-quick", "-trials", "1", "-run", "F1,L2"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for i := 0; i < 2; i++ {
+		want := fmt.Sprintf("shard %d exited before writing its artifact", i)
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+	if strings.Contains(stderr.String(), "decoding report") {
+		t.Errorf("raw decode error leaked through:\n%s", stderr.String())
+	}
+}
+
+// TestDispatchTruncatedArtifactDiagnostic maps a child that died
+// mid-write (invalid JSON on disk) to the truncation diagnostic.
+func TestDispatchTruncatedArtifactDiagnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	t.Setenv("WEXP_TEST_CHILD_MODE", "truncate")
+	var stdout, stderr bytes.Buffer
+	code := runDispatch(2, []string{"-quick", "-trials", "1", "-run", "F1,L2"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "shard 0 exited before finishing its artifact (truncated after") {
+		t.Errorf("stderr missing the truncation diagnostic:\n%s", stderr.String())
+	}
+}
+
+// TestReadShardArtifact unit-tests the diagnostic mapping directly:
+// empty and truncated files get the crashed-child messages, while a
+// well-formed document with the wrong schema keeps the decoder's error.
+func TestReadShardArtifact(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if _, err := readShardArtifact(filepath.Join(dir, "missing.json"), 0); err == nil {
+		t.Error("missing file: want error")
+	}
+	if _, err := readShardArtifact(write("empty.json", ""), 1); err == nil ||
+		!strings.Contains(err.Error(), "shard 1 exited before writing its artifact") {
+		t.Errorf("empty file: err = %v", err)
+	}
+	if _, err := readShardArtifact(write("trunc.json", `{"schema":"wsync-`), 2); err == nil ||
+		!strings.Contains(err.Error(), "truncated after 17 bytes") {
+		t.Errorf("truncated file: err = %v", err)
+	}
+	if _, err := readShardArtifact(write("schema.json", `{"schema":"wsync-bench/v999"}`), 3); err == nil ||
+		!strings.Contains(err.Error(), "unsupported schema") {
+		t.Errorf("wrong schema: err = %v", err)
+	}
+	good := `{"schema":"wsync-bench/v1","experiments":[]}`
+	if r, err := readShardArtifact(write("good.json", good), 4); err != nil || r == nil {
+		t.Errorf("valid artifact: r = %v, err = %v", r, err)
+	}
+}
+
+// TestDispatchInterruptKillsChildren is the SIGINT regression test: a
+// dispatching parent with two deliberately hung children is interrupted,
+// and must (1) exit non-zero reporting the interruption, (2) leave no
+// live shard subprocesses behind, and (3) have removed its temp
+// directory despite the children never finishing — the leak the
+// pre-signal-handling dispatcher exhibited.
+func TestDispatchInterruptKillsChildren(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidDir := t.TempDir()
+	tmpDir := t.TempDir()
+
+	// Re-exec this test binary as the dispatching parent: the
+	// WEXP_DISPATCH_CHILD reroute sends it into run() (it has no
+	// -shard-index, so the child stub does not trigger), and its own
+	// children inherit the hang mode.
+	parent := exec.Command(exe, "-dispatch", "2", "-quick", "-trials", "1", "-run", "F1,L2")
+	var stderr bytes.Buffer
+	parent.Stderr = &stderr
+	parent.Env = append(os.Environ(),
+		"WEXP_DISPATCH_CHILD=1",
+		"WEXP_TEST_CHILD_MODE=hang",
+		"WEXP_TEST_PID_DIR="+pidDir,
+		"TMPDIR="+tmpDir,
+	)
+	if err := parent.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer parent.Process.Kill()
+
+	// Wait for both children to announce themselves.
+	pids := waitForPids(t, pidDir, 2, 15*time.Second)
+
+	if err := parent.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- parent.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err == nil {
+			t.Error("interrupted dispatcher exited 0")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("dispatcher did not exit after SIGINT")
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr does not report the interruption:\n%s", stderr.String())
+	}
+
+	// The children must be gone (their parent reaped them before
+	// exiting, so signal 0 probes must fail).
+	deadline := time.Now().Add(10 * time.Second)
+	for _, pid := range pids {
+		for {
+			if err := syscall.Kill(pid, 0); err != nil {
+				break // ESRCH: process gone
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard child %d is still alive after the dispatcher exited", pid)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// And the dispatch temp directory must have been cleaned up.
+	leftovers, err := filepath.Glob(filepath.Join(tmpDir, "wexp-dispatch-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("dispatch temp dirs leaked: %v", leftovers)
+	}
+}
+
+// waitForPids polls dir until want pid files exist and returns the pids.
+func waitForPids(t *testing.T, dir string, want int, timeout time.Duration) []int {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) >= want {
+			pids := make([]int, 0, len(entries))
+			for _, e := range entries {
+				pid, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "pid_"))
+				if err != nil {
+					t.Fatalf("bad pid file %q", e.Name())
+				}
+				pids = append(pids, pid)
+			}
+			return pids
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d shard children appeared", len(entries), want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

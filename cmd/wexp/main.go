@@ -37,6 +37,13 @@
 //	wexp merge -zero-volatile a.json        # normalize for byte comparison
 //	wexp -dispatch 3 -json                  # fork 3 shard subprocesses locally and merge
 //
+// Served sweeps (docs/BENCH_FORMAT.md, "The wsyncd job service") hand
+// the selection to a wsyncd server, which shards it across registered
+// workers, retries work lost to dead workers, serves repeats from its
+// content-addressed cache, and returns the same merged report:
+//
+//	wexp -submit http://127.0.0.1:8080 -json
+//
 // The -json report is the benchmark artifact CI uploads on every build:
 // it bundles the rendered tables with the options and per-experiment wall
 // times and node-rounds throughput, so the performance trajectory of the
@@ -106,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shards    = fs.Int("shards", 0, "split the selection into this many shards and run one of them (requires -shard-index)")
 		shardIdx  = fs.Int("shard-index", -1, "which shard of -shards to run, in [0, shards)")
 		dispatch  = fs.Int("dispatch", 0, "fork this many local shard subprocesses and merge their reports")
+		submit    = fs.String("submit", "", "submit the sweep to this wsyncd base URL and write its merged report")
 		planCosts = fs.String("plan-costs", "", "prior wsync-bench/v1 report whose elapsed_ms values balance the shard partition")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write an end-of-run allocation profile to this file")
@@ -139,6 +147,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *shards > 0 && *dispatch > 0:
 		fmt.Fprintln(stderr, "wexp: -shards and -dispatch are mutually exclusive")
 		return 2
+	case *submit != "" && (*shards > 0 || *dispatch > 0):
+		fmt.Fprintln(stderr, "wexp: -submit is mutually exclusive with -shards and -dispatch")
+		return 2
 	case *shards > 0 && (*shardIdx < 0 || *shardIdx >= *shards):
 		fmt.Fprintf(stderr, "wexp: -shard-index must be in [0, %d)\n", *shards)
 		return 2
@@ -146,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "wexp: -shard-index requires -shards")
 		return 2
 	case *planCosts != "" && *shards == 0 && *dispatch == 0:
-		fmt.Fprintln(stderr, "wexp: -plan-costs requires -shards or -dispatch")
+		fmt.Fprintln(stderr, "wexp: -plan-costs requires -shards or -dispatch (wsyncd keeps its own cost table)")
 		return 2
 	}
 
@@ -227,6 +238,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			childArgs = append(childArgs, "-plan-costs", *planCosts)
 		}
 		return runDispatch(*dispatch, childArgs, stdout, stderr)
+	}
+
+	if *submit != "" {
+		// Like -dispatch: the merged JSON report goes to stdout, so any
+		// explicitly requested non-JSON format or -out is an error.
+		if (formatSet && *format != "json") || *outDir != "" {
+			fmt.Fprintln(stderr, "wexp: -submit emits the merged JSON report to stdout (only -format json, no -out)")
+			return 2
+		}
+		return runSubmit(*submit, svcSubmitRequest(*seed, *trials, *quick, *full, *runIDs),
+			200*time.Millisecond, stdout, stderr)
 	}
 
 	opt := harness.Options{Trials: *trials, Seed: *seed, Quick: *quick, Full: *full, Parallelism: *parallel, NoBatch: *noBatch}

@@ -6,20 +6,66 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"wsync/internal/shard"
 )
 
 // TestMain reroutes the test binary into run() when it is re-executed as
 // a -dispatch shard subprocess (dispatch.go sets the variable on every
-// child; the real wexp binary ignores it).
+// child; the real wexp binary ignores it). WEXP_TEST_CHILD_MODE makes a
+// shard child misbehave on purpose — hang, exit without writing, or
+// truncate its artifact — so the dispatcher's failure handling can be
+// tested end to end (see dispatch_test.go); it only ever affects
+// processes that carry -shard-index, so the dispatching parent itself
+// runs normally under the same environment.
 func TestMain(m *testing.M) {
 	if os.Getenv("WEXP_DISPATCH_CHILD") == "1" {
+		if mode := os.Getenv("WEXP_TEST_CHILD_MODE"); mode != "" && isShardChild(os.Args[1:]) {
+			os.Exit(dispatchChildStub(mode))
+		}
 		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 	}
 	os.Exit(m.Run())
+}
+
+// isShardChild reports whether this invocation is a -dispatch shard
+// worker (the dispatcher always appends -shard-index to child args).
+func isShardChild(args []string) bool {
+	for _, a := range args {
+		if a == "-shard-index" {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchChildStub implements the WEXP_TEST_CHILD_MODE behaviors a
+// dispatch regression test can request from a shard subprocess: "hang"
+// parks the child until it is killed (announcing its pid through
+// WEXP_TEST_PID_DIR so the test can probe liveness), "exit-silent"
+// exits 0 without writing a byte of artifact, and "truncate" exits 0
+// mid-document, like a child crashing inside the JSON encoder.
+func dispatchChildStub(mode string) int {
+	switch mode {
+	case "hang":
+		if dir := os.Getenv("WEXP_TEST_PID_DIR"); dir != "" {
+			pid := strconv.Itoa(os.Getpid())
+			os.WriteFile(filepath.Join(dir, "pid_"+pid), []byte(pid), 0o644)
+		}
+		time.Sleep(time.Hour)
+		return 0
+	case "exit-silent":
+		return 0
+	case "truncate":
+		fmt.Print(`{"schema":"wsync-bench/v1","trials":2,"experimen`)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "unknown WEXP_TEST_CHILD_MODE %q\n", mode)
+	return 3
 }
 
 // capture runs run() with stdout and stderr buffered and returns

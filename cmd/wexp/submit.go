@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wsync/internal/svc"
+)
+
+// runSubmit is the client side of the wsyncd job service: it submits
+// the sweep described by the flags, polls until the job completes, and
+// writes the merged wsync-bench/v1 report to stdout — the same document
+// an unsharded `wexp -json` run (or `wexp -dispatch`) would produce,
+// modulo the volatile fields. Progress goes to stderr; a sweep answered
+// entirely by the server's content-addressed cache says so there.
+func runSubmit(base string, req svc.SubmitRequest, pollEvery time.Duration, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := &svc.Client{Base: base}
+	sub, err := client.Submit(req)
+	if err != nil {
+		fmt.Fprintf(stderr, "wexp: -submit: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "wexp: -submit: job %s: %d experiments, %d from cache\n", sub.JobID, sub.Total, sub.Cached)
+
+	lastDone := -1
+	for {
+		st, err := client.Status(sub.JobID)
+		if err != nil {
+			fmt.Fprintf(stderr, "wexp: -submit: %v\n", err)
+			return 1
+		}
+		if st.Done != lastDone {
+			lastDone = st.Done
+			fmt.Fprintf(stderr, "wexp: -submit: job %s: %d/%d done, %d retries\n", st.JobID, st.Done, st.Total, st.Retries)
+		}
+		switch st.State {
+		case svc.StateDone:
+			if st.Cached == st.Total {
+				fmt.Fprintf(stderr, "wexp: -submit: job %s served entirely from cache\n", st.JobID)
+			}
+			if err := st.Report.Encode(stdout); err != nil {
+				fmt.Fprintf(stderr, "wexp: %v\n", err)
+				return 1
+			}
+			return 0
+		case svc.StateFailed:
+			fmt.Fprintf(stderr, "wexp: -submit: job %s failed: %s\n", st.JobID, st.Error)
+			return 1
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(stderr, "wexp: -submit: interrupted; job %s keeps running on the server\n", st.JobID)
+			return 1
+		case <-time.After(pollEvery):
+		}
+	}
+}
+
+// svcSubmitRequest assembles the submit body from the sweep-identity
+// flags. Unknown experiment ids are the server's to reject — it owns
+// the catalogue version being served.
+func svcSubmitRequest(seed uint64, trials int, quick, full bool, runIDs string) svc.SubmitRequest {
+	return svc.SubmitRequest{Seed: seed, Trials: trials, Quick: quick, Full: full, Run: splitRunIDs(runIDs)}
+}
+
+// splitRunIDs turns the -run flag value into the selection list the
+// submit API expects (nil for the full catalogue).
+func splitRunIDs(runIDs string) []string {
+	if runIDs == "" {
+		return nil
+	}
+	var ids []string
+	for _, id := range strings.Split(runIDs, ",") {
+		ids = append(ids, strings.TrimSpace(id))
+	}
+	return ids
+}

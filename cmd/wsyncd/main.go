@@ -1,0 +1,127 @@
+// Command wsyncd is the always-on sweep service: an HTTP/JSON job
+// server (internal/svc) that accepts benchmark sweeps, carves them
+// across registered workers with the shard planner, retries and
+// re-plans work lost to dead workers, and serves repeated sweeps from a
+// content-addressed result cache.
+//
+// Server mode:
+//
+//	wsyncd -listen 127.0.0.1:8080
+//	wsyncd -listen :8080 -heartbeat 30s -retry-base 2s -max-attempts 5
+//
+// Worker mode (run one per machine or core pool; each polls the server
+// for assignments and pushes wsync-bench/v1 entries back):
+//
+//	wsyncd -worker http://127.0.0.1:8080 -name w1 -parallel 2
+//
+// Submit sweeps and collect merged reports with `wexp -submit`; the
+// wire protocol and cache key are documented in docs/BENCH_FORMAT.md
+// ("The wsyncd job service").
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsync/internal/svc"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wsyncd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen      = fs.String("listen", "", "serve the job API on this address (server mode)")
+		worker      = fs.String("worker", "", "poll this wsyncd base URL for work (worker mode)")
+		name        = fs.String("name", "", "worker name (default host:pid)")
+		parallel    = fs.Int("parallel", 0, "worker mode: trial-runner goroutines per experiment (0 = one per CPU)")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "worker mode: idle poll interval")
+		heartbeat   = fs.Duration("heartbeat", 15*time.Second, "server mode: deadline for a worker to check in before its work is re-planned")
+		retryBase   = fs.Duration("retry-base", time.Second, "server mode: backoff unit for re-planned experiments (doubles per attempt)")
+		maxAttempts = fs.Int("max-attempts", 3, "server mode: assignment attempts per experiment before the job fails")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *listen == "" && *worker == "":
+		fmt.Fprintln(stderr, "wsyncd: one of -listen (server) or -worker (worker) is required")
+		return 2
+	case *listen != "" && *worker != "":
+		fmt.Fprintln(stderr, "wsyncd: -listen and -worker are mutually exclusive")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	}
+
+	if *worker != "" {
+		wname := *name
+		if wname == "" {
+			host, _ := os.Hostname()
+			wname = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		logf("wsyncd: worker %s polling %s", wname, *worker)
+		if err := svc.RunWorker(ctx, svc.WorkerOptions{
+			Server:       *worker,
+			Name:         wname,
+			PollInterval: *poll,
+			Parallelism:  *parallel,
+			Logf:         logf,
+		}); err != nil {
+			logf("wsyncd: %v", err)
+			return 1
+		}
+		logf("wsyncd: worker %s stopped", wname)
+		return 0
+	}
+
+	server := svc.NewServer(svc.Options{
+		HeartbeatTimeout: *heartbeat,
+		RetryBase:        *retryBase,
+		MaxAttempts:      *maxAttempts,
+		Logf:             logf,
+	})
+	defer server.Close()
+
+	// Bind before announcing readiness so a script can start submitting
+	// the moment the log line appears (and :0 reports its real port).
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logf("wsyncd: %v", err)
+		return 1
+	}
+	hs := &http.Server{Handler: server.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	logf("wsyncd: listening on %s", ln.Addr())
+
+	select {
+	case err := <-served:
+		logf("wsyncd: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	logf("wsyncd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		logf("wsyncd: shutdown: %v", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestModeValidation pins the mode flags: exactly one of -listen and
+// -worker must be given.
+func TestModeValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "one of -listen (server) or -worker (worker) is required"},
+		{[]string{"-listen", ":0", "-worker", "http://x"}, "mutually exclusive"},
+	}
+	for _, c := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(c.args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", c.args, code)
+		}
+		if !strings.Contains(errBuf.String(), c.want) {
+			t.Errorf("run(%v) stderr %q does not mention %q", c.args, errBuf.String(), c.want)
+		}
+	}
+}

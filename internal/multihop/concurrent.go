@@ -1,0 +1,196 @@
+package multihop
+
+import (
+	"fmt"
+	"sync"
+
+	"wsync/internal/sim"
+)
+
+// concurrentPhase identifies the two barrier-separated parts of a round
+// executed by worker goroutines, mirroring the single-hop engine's
+// round-barrier structure.
+type concurrentPhase int
+
+const (
+	concurrentStep concurrentPhase = iota + 1
+	concurrentDeliver
+)
+
+type concurrentCmd struct {
+	phase concurrentPhase
+	round uint64
+}
+
+// RunConcurrent executes the simulation with agent stepping and message
+// delivery striped across worker goroutines (c.Workers of them; 0 means
+// one per node). It produces exactly the same Result as Run for the same
+// Config: workers only ever touch per-node state (worker w owns nodes i
+// with i % workers == w), and everything with cross-node extent —
+// medium resolution, the adversary, observers via StopWhen, and
+// crucially topology churn — runs on the coordinating goroutine between
+// the two barriers.
+//
+// Churned configs are explicitly supported: the per-round delta apply
+// and the SetGraph swap are serialized behind the round barrier, before
+// any worker steps an agent for that round, so the resolver never
+// changes graphs while a worker is in flight. A concurrent churned run
+// is byte-identical to the serial one (TestRunConcurrentMatchesRun pins
+// Results across churn models, schedules, and adversaries).
+//
+// c.NewAgent may be invoked from worker goroutines, concurrently for
+// distinct node IDs — the same factory contract sim.RunConcurrent
+// documents. Cohort batch-stepping does not apply here (workers step per
+// node); per-node and batch dispatch are bit-identical, so this is
+// observationally invisible.
+func RunConcurrent(c *Config) (*Result, error) {
+	e, err := newEngine(c)
+	if err != nil {
+		return nil, err
+	}
+	workers := c.Workers
+	if workers <= 0 || workers > e.n {
+		workers = e.n
+	}
+	maxRounds := c.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+	res := e.res
+
+	cmds := make([]chan concurrentCmd, workers)
+	done := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+
+	runWorker := func(w int, cmdC chan concurrentCmd) {
+		defer wg.Done()
+		// All slices are indexed per node, so writes are disjoint across
+		// workers; the channel operations order them against the
+		// coordinator's reads.
+		for cmd := range cmdC {
+			switch cmd.phase {
+			case concurrentStep:
+				for i := w; i < e.n; i += workers {
+					if !e.active[i] {
+						if e.activation[i] != cmd.round {
+							continue
+						}
+						e.active[i] = true
+						e.agents[i] = e.cfg.NewAgent(sim.NodeID(i), cmd.round, &e.agentRNG[i])
+					}
+					a := e.agents[i].Step(cmd.round - e.activation[i] + 1)
+					e.actFreq[i] = int32(a.Freq)
+					e.actTx[i] = a.Transmit
+					if a.Transmit {
+						e.actMsg[i] = a.Msg
+					}
+				}
+			case concurrentDeliver:
+				for i := w; i < e.n; i += workers {
+					if e.hasPending[i] {
+						e.agents[i].Deliver(e.pending[i])
+					}
+				}
+			}
+			done <- struct{}{}
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		cmds[w] = make(chan concurrentCmd)
+		wg.Add(1)
+		go runWorker(w, cmds[w])
+	}
+	stopWorkers := func() {
+		for _, c := range cmds {
+			close(c)
+		}
+		wg.Wait()
+	}
+	defer stopWorkers()
+
+	barrier := func(cmd concurrentCmd) {
+		for _, c := range cmds {
+			c <- cmd
+		}
+		for range cmds {
+			<-done
+		}
+	}
+
+	for r := uint64(1); r <= maxRounds; r++ {
+		if e.runRoundConcurrent(r, barrier) {
+			break
+		}
+	}
+	res.AllSynced = e.synced == e.n
+	res.HitMaxRounds = res.Rounds == maxRounds && !res.AllSynced
+	for i := 0; i < e.n; i++ {
+		if e.agents[i] != nil {
+			if lr, ok := e.agents[i].(sim.LeaderReporter); ok && lr.IsLeader() {
+				res.Leaders++
+			}
+		}
+	}
+	totalNodeRounds.Add(res.NodeRounds)
+	return res, nil
+}
+
+// runRoundConcurrent is runRound with the per-node loops delegated to
+// the workers behind barrier. Coordinator-side order is identical to the
+// serial path: churn, activation bookkeeping, the adversary, then (step
+// barrier), validation and resolution, then (deliver barrier), and the
+// output sweep — so every observable value is computed in the same
+// sequence as Run.
+func (e *engine) runRoundConcurrent(r uint64, barrier func(concurrentCmd)) (stop bool) {
+	c := e.cfg
+	res := e.res
+	if c.Churn != nil {
+		// Serialized graph mutation: no worker is in flight here, so the
+		// delta apply and SetGraph swap cannot race agent stepping.
+		e.churnRound(r)
+	}
+	// Activation bookkeeping happens here so the adversary's history view
+	// and the resolver's awake list are current; the active flags and
+	// agent construction happen in the workers.
+	for _, i := range e.act.Wake(r) {
+		e.hist.Activated[i] = r
+		e.activatedCount++
+	}
+	disrupted := e.disruptedSet(r)
+	barrier(concurrentCmd{phase: concurrentStep, round: r})
+
+	for _, i := range e.act.Active() {
+		if f := int(e.actFreq[i]); f < 1 || f > c.F {
+			panic(fmt.Sprintf("multihop: node %d chose frequency %d", i, f))
+		}
+	}
+	res.NodeRounds += uint64(len(e.act.Active()))
+
+	for _, i := range e.pendingList {
+		e.hasPending[i] = false
+	}
+	e.pendingList = e.pendingList[:0]
+
+	if c.Medium == sim.MediumScan {
+		e.resolveScan(disrupted)
+	} else {
+		e.resolveIndexed(disrupted)
+	}
+
+	barrier(concurrentCmd{phase: concurrentDeliver, round: r})
+	for _, i := range e.act.Active() {
+		if res.SyncRound[i] == 0 {
+			if out := e.agents[i].Output(); out.Synced {
+				res.SyncRound[i] = r
+				e.synced++
+			}
+		}
+	}
+	e.hist.Completed = r
+	res.Rounds = r
+	if c.StopWhen != nil && c.StopWhen(r) {
+		return true
+	}
+	return !c.RunToMax && e.activatedCount == e.n && e.synced == e.n
+}

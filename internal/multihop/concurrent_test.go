@@ -1,0 +1,189 @@
+package multihop
+
+import (
+	"testing"
+
+	"wsync/internal/rng"
+	"wsync/internal/sim"
+)
+
+// concurrent_test.go differentially tests RunConcurrent against Run:
+// identical configs must produce bit-identical Results and delivery logs
+// at every worker count — including churned configs, where the engine
+// serializes delta application and the SetGraph swap on the coordinator
+// behind the round barrier. The churn model here is defined locally
+// (internal/churn imports multihop, so its models cannot appear in this
+// package's tests).
+
+// testChurn is a seeded random churn model: each round it toggles up to
+// three node pairs, tracking the live edge set so every emitted delta
+// honors the engine's strict present/absent contract. Deterministic per
+// seed, so a fresh instance replays identically for each run.
+type testChurn struct {
+	r     *rng.Rand
+	n     int
+	edges map[uint64]struct{}
+	add   []Edge
+	rem   []Edge
+}
+
+func newTestChurn(topo *Topology, seed uint64) *testChurn {
+	c := &testChurn{r: rng.New(seed), n: topo.N(), edges: map[uint64]struct{}{}}
+	for _, e := range topo.AppendEdges(nil) {
+		c.edges[edgeKey(e.A, e.B)] = struct{}{}
+	}
+	return c
+}
+
+func (c *testChurn) Deltas(r uint64) (add, remove []Edge) {
+	c.add, c.rem = c.add[:0], c.rem[:0]
+	k := c.r.IntRange(0, 3)
+draw:
+	for i := 0; i < k; i++ {
+		a, b := c.r.Intn(c.n), c.r.Intn(c.n)
+		if a == b {
+			continue
+		}
+		key := edgeKey(a, b)
+		// Toggling the same pair twice in one round would emit an add and
+		// a remove for one edge; the engine applies removes first, so the
+		// pair must appear at most once per round.
+		for _, e := range c.add {
+			if edgeKey(e.A, e.B) == key {
+				continue draw
+			}
+		}
+		for _, e := range c.rem {
+			if edgeKey(e.A, e.B) == key {
+				continue draw
+			}
+		}
+		if _, ok := c.edges[key]; ok {
+			delete(c.edges, key)
+			c.rem = append(c.rem, Edge{A: a, B: b})
+		} else {
+			c.edges[key] = struct{}{}
+			c.add = append(c.add, Edge{A: a, B: b})
+		}
+	}
+	return c.add, c.rem
+}
+
+// concurrentDiffRun executes one configuration through Run or
+// RunConcurrent and returns the result plus every agent's reception log.
+// Stateful collaborators (adversary, churn model) are constructed fresh
+// per run via the factories.
+func concurrentDiffRun(t *testing.T, cfg Config, mkAdv func() sim.Adversary,
+	mkChurn func() ChurnModel, concurrent bool) (*Result, [][]uint64) {
+	t.Helper()
+	agents := make([]*diffAgent, cfg.Topology.N())
+	if mkAdv != nil {
+		cfg.Adversary = mkAdv()
+	}
+	if mkChurn != nil {
+		cfg.Churn = mkChurn()
+	}
+	cfg.NewAgent = func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+		a := newDiffAgent(r, cfg.F)
+		agents[id] = a
+		return a
+	}
+	var (
+		res *Result
+		err error
+	)
+	if concurrent {
+		res, err = RunConcurrent(&cfg)
+	} else {
+		res, err = Run(&cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	heard := make([][]uint64, len(agents))
+	for i, a := range agents {
+		if a != nil {
+			heard[i] = a.heard
+		}
+	}
+	return res, heard
+}
+
+// TestRunConcurrentMatchesRun is the concurrent runner's differential
+// pin: over randomized topologies, schedules, adversaries, worker
+// counts, and churn models, RunConcurrent must reproduce Run's Result —
+// every field including the churn counters — and every agent's exact
+// reception log. Churned cases exercise the serialized SetGraph path
+// specifically: before this runner existed, concurrent stepping with
+// mid-run graph mutation was unsupported.
+func TestRunConcurrentMatchesRun(t *testing.T) {
+	master := rng.New(0x636372)
+	cases := 60
+	if testing.Short() {
+		cases = 20
+	}
+	churned := 0
+	for c := 0; c < cases; c++ {
+		r := master.Split(uint64(c))
+		topo := diffTopology(r)
+		f := r.IntRange(2, 16)
+		tBudget := r.IntRange(0, f-1)
+		mkAdv := diffAdversary(r, f, tBudget)
+		var mkChurn func() ChurnModel
+		if r.Bool() {
+			churned++
+			seed := r.Uint64()
+			base := topo
+			mkChurn = func() ChurnModel { return newTestChurn(base, seed) }
+		}
+		workers := []int{0, 1, 2, 3, 5}[r.IntRange(0, 4)]
+		cfg := Config{
+			F:         f,
+			T:         tBudget,
+			Seed:      r.Uint64(),
+			Topology:  topo,
+			Schedule:  diffSchedule(r, topo.N()),
+			MaxRounds: uint64(r.IntRange(50, 250)),
+			RunToMax:  r.Bool(),
+			Medium:    []sim.MediumPath{sim.MediumIndexed, sim.MediumScan}[r.IntRange(0, 1)],
+			Workers:   workers,
+		}
+		serRes, serHeard := concurrentDiffRun(t, cfg, mkAdv, mkChurn, false)
+		conRes, conHeard := concurrentDiffRun(t, cfg, mkAdv, mkChurn, true)
+		if d := diffResults(serRes, conRes, serHeard, conHeard); d != "" {
+			t.Fatalf("case %d (%v F=%d t=%d workers=%d churn=%v): divergence: %s",
+				c, topo, f, tBudget, workers, mkChurn != nil, d)
+		}
+		if serRes.ChurnRounds != conRes.ChurnRounds || serRes.ChurnEdges != conRes.ChurnEdges {
+			t.Fatalf("case %d: churn counters diverge: (%d, %d) vs (%d, %d)",
+				c, serRes.ChurnRounds, serRes.ChurnEdges, conRes.ChurnRounds, conRes.ChurnEdges)
+		}
+	}
+	if churned == 0 {
+		t.Fatal("randomization produced no churned cases; the serialized SetGraph path went unexercised")
+	}
+}
+
+// TestRunConcurrentChurnLine is a deterministic spot check of the
+// serialized-churn contract on a fixed config (no randomized inputs), so
+// a regression here localizes immediately.
+func TestRunConcurrentChurnLine(t *testing.T) {
+	topo := Line(12)
+	mkChurn := func() ChurnModel { return newTestChurn(topo, 99) }
+	cfg := Config{
+		F: 4, T: 1, Seed: 7,
+		Topology:  topo,
+		Schedule:  sim.Staggered{Count: 12, Gap: 2},
+		MaxRounds: 120,
+		RunToMax:  true,
+		Workers:   3,
+	}
+	serRes, serHeard := concurrentDiffRun(t, cfg, nil, mkChurn, false)
+	conRes, conHeard := concurrentDiffRun(t, cfg, nil, mkChurn, true)
+	if d := diffResults(serRes, conRes, serHeard, conHeard); d != "" {
+		t.Fatalf("divergence: %s", d)
+	}
+	if serRes.ChurnRounds == 0 {
+		t.Fatal("fixed churn seed applied no deltas; the test lost its subject")
+	}
+}

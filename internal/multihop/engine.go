@@ -94,6 +94,12 @@ type Config struct {
 	// O(E) per round and allocating — kept only for differential testing
 	// (TestChurnDeltaMatchesRebuild pins the two paths byte-identical).
 	ChurnRebuild bool
+	// Workers sets the goroutine count for RunConcurrent (0 = one per
+	// node); Run ignores it. Churned configs are safe under RunConcurrent:
+	// delta application and the SetGraph swap happen on the coordinating
+	// goroutine behind the round barrier, never concurrently with agent
+	// stepping.
+	Workers int
 }
 
 // Result reports a multi-hop run.

@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// PointKey names one experiment's sweep point in the result-cache
+// address space: the grid tier qualified by the experiment id. The tier
+// is part of the key because -quick and -full select different grids
+// for the same id, so their tables are different deterministic values.
+func PointKey(quick, full bool, experimentID string) string {
+	tier := "default"
+	switch {
+	case full:
+		tier = "full"
+	case quick:
+		tier = "quick"
+	}
+	return tier + "/" + experimentID
+}
+
+// CacheKey returns the content address of one experiment's result under
+// the wsync-bench/v1 determinism contract. Everything outside the
+// volatile fields is a pure function of the tuple
+//
+//	(schema, seed, point key, trials)
+//
+// where trials is the effective (post-defaulting) repetition count and
+// the point key is the tier-qualified experiment id (PointKey) — so a
+// result computed once can be served to every later request for the
+// same tuple without recompute. The address is the hex SHA-256 of the
+// canonical tuple encoding; docs/BENCH_FORMAT.md ("The wsyncd job
+// service") documents it as the cache's wire-visible key.
+func CacheKey(schema string, seed uint64, effectiveTrials int, quick, full bool, experimentID string) string {
+	canon := fmt.Sprintf("%s|seed=%d|trials=%d|point=%s",
+		schema, seed, effectiveTrials, PointKey(quick, full, experimentID))
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// Replan is the daemon's partial re-plan: given the experiment ids still
+// pending (typically the unfinished remainder of a job after a worker
+// was lost), it returns the slice of that work one newly idle worker
+// should take when k workers are live — the first shard of a fresh
+// cost-balanced Plan over only the pending ids. Successive calls as
+// workers come free, with completed and leased ids removed from pending,
+// drain the pool without any worker ever waiting on a static partition.
+func Replan(pending []string, k int, costs map[string]int64) ([]string, error) {
+	if k < 1 {
+		k = 1
+	}
+	plan, err := Plan(pending, k, costs)
+	if err != nil {
+		return nil, err
+	}
+	return plan[0], nil
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCacheKeyTuple pins the cache address as a function of exactly the
+// documented tuple (schema, seed, point key, trials): equal tuples
+// collide, and moving any single element — including the tier half of
+// the point key — produces a distinct address.
+func TestCacheKeyTuple(t *testing.T) {
+	base := CacheKey(Schema, 7, 20, false, false, "T10a")
+	if base != CacheKey(Schema, 7, 20, false, false, "T10a") {
+		t.Fatal("identical tuples hash to different keys")
+	}
+	if len(base) != 64 || strings.ToLower(base) != base {
+		t.Fatalf("key %q is not lowercase hex sha-256", base)
+	}
+	variants := map[string]string{
+		"schema":  CacheKey("wsync-bench/v999", 7, 20, false, false, "T10a"),
+		"seed":    CacheKey(Schema, 8, 20, false, false, "T10a"),
+		"trials":  CacheKey(Schema, 7, 21, false, false, "T10a"),
+		"quick":   CacheKey(Schema, 7, 20, true, false, "T10a"),
+		"full":    CacheKey(Schema, 7, 20, false, true, "T10a"),
+		"point":   CacheKey(Schema, 7, 20, false, false, "T10b"),
+		"swapped": CacheKey(Schema, 7, 20, false, false, "T10a "),
+	}
+	seen := map[string]string{base: "base"}
+	for name, key := range variants {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("tuple variant %q collides with %q", name, prev)
+		}
+		seen[key] = name
+	}
+}
+
+// TestPointKeyTiers pins the tier qualifier: the three tiers address
+// disjoint key spaces for the same experiment id, and Full wins when
+// both flags are set (mirroring harness.Options, where Full overrides).
+func TestPointKeyTiers(t *testing.T) {
+	cases := []struct {
+		quick, full bool
+		want        string
+	}{
+		{false, false, "default/X9"},
+		{true, false, "quick/X9"},
+		{false, true, "full/X9"},
+		{true, true, "full/X9"},
+	}
+	for _, c := range cases {
+		if got := PointKey(c.quick, c.full, "X9"); got != c.want {
+			t.Errorf("PointKey(%v, %v) = %q, want %q", c.quick, c.full, got, c.want)
+		}
+	}
+}
+
+// TestReplan checks the partial re-plan helper: the returned slice is a
+// subset of pending in selection order, roughly 1/k of it by cost, the
+// whole pool when k = 1 (or fewer), and empty input yields empty output
+// rather than an error.
+func TestReplan(t *testing.T) {
+	pending := []string{"A", "B", "C", "D", "E", "F"}
+	got, err := Replan(pending, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Replan k=3 over 6 uniform ids = %v, want 2 ids", got)
+	}
+	idx := map[string]int{}
+	for i, id := range pending {
+		idx[id] = i
+	}
+	for i := 1; i < len(got); i++ {
+		if idx[got[i-1]] >= idx[got[i]] {
+			t.Fatalf("Replan broke selection order: %v", got)
+		}
+	}
+
+	all, err := Replan(pending, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(pending) {
+		t.Fatalf("Replan k=1 = %v, want all of %v", all, pending)
+	}
+	if under, err := Replan(pending, 0, nil); err != nil || len(under) != len(pending) {
+		t.Fatalf("Replan k=0 = %v, %v; want the k=1 behavior", under, err)
+	}
+
+	none, err := Replan(nil, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("Replan of empty pool = %v, want empty", none)
+	}
+
+	if _, err := Replan([]string{"A", "A"}, 2, nil); err == nil {
+		t.Fatal("Replan accepted a duplicate id")
+	}
+}

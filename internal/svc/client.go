@@ -1,0 +1,100 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"wsync/internal/shard"
+)
+
+// Client speaks the wsyncd wire protocol. The zero HTTP field uses
+// http.DefaultClient.
+type Client struct {
+	Base string // server base URL, e.g. http://127.0.0.1:8080
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call POSTs (or GETs, when in is nil and method says so) one JSON
+// round trip, decoding the response into out. Non-2xx responses become
+// errors carrying the server's message.
+func (c *Client) call(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("svc: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, strings.TrimSuffix(c.Base, "/")+path, body)
+	if err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("svc: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("svc: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Submit submits a sweep and returns its job id.
+func (c *Client) Submit(req SubmitRequest) (*SubmitResponse, error) {
+	var out SubmitResponse
+	if err := c.call(http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status fetches a job's state (including the merged report once done).
+func (c *Client) Status(jobID string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.call(http.MethodGet, "/v1/jobs/"+jobID, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Poll registers worker and asks for an assignment; nil means no work.
+func (c *Client) Poll(worker string) (*Assignment, error) {
+	var out PollResponse
+	if err := c.call(http.MethodPost, "/v1/poll", PollRequest{Worker: worker}, &out); err != nil {
+		return nil, err
+	}
+	return out.Assignment, nil
+}
+
+// Push returns completed entries and reports the job's state after.
+func (c *Client) Push(worker, jobID string, entries []shard.Entry) (string, error) {
+	var out PushResponse
+	err := c.call(http.MethodPost, "/v1/push", PushRequest{Worker: worker, JobID: jobID, Entries: entries}, &out)
+	if err != nil {
+		return "", err
+	}
+	return out.State, nil
+}

@@ -1,0 +1,517 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"wsync/internal/harness"
+	"wsync/internal/shard"
+)
+
+// Options tunes the server's failure detector and retry policy. The
+// zero value means the defaults noted on each field.
+type Options struct {
+	// HeartbeatTimeout is how long a worker may hold an assignment
+	// without checking in (a poll or push is a heartbeat) before the
+	// server presumes it dead and re-plans its unfinished experiments.
+	// Default 15s.
+	HeartbeatTimeout time.Duration
+	// RetryBase is the backoff unit for re-planned experiments: after
+	// attempt k fails, the experiment is not reassigned for
+	// RetryBase << (k-1). Default 1s.
+	RetryBase time.Duration
+	// MaxAttempts bounds assignments per experiment; exceeding it fails
+	// the whole job with a diagnostic naming the experiment. Default 3.
+	MaxAttempts int
+	// Logf, if non-nil, receives one line per state transition
+	// (assignment, push, expiry, completion).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 15 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	return o
+}
+
+// pendingPoint is one experiment awaiting assignment. notBefore
+// implements retry backoff: the point is invisible to polls until then.
+type pendingPoint struct {
+	id        string
+	notBefore time.Time
+}
+
+// lease is one outstanding assignment. ids shrinks as the worker pushes
+// entries back; an expired lease returns whatever remains to pending.
+type lease struct {
+	worker   string
+	jobID    string
+	ids      []string
+	deadline time.Time
+}
+
+// job is the server-side state of one submitted sweep.
+type job struct {
+	id        string
+	spec      SubmitRequest
+	selection []string
+	effTrials int
+
+	pending  []pendingPoint
+	attempts map[string]int // id -> times assigned
+	entries  map[string]shard.Entry
+	cached   int
+	retries  int
+
+	state  string
+	errMsg string
+	report *shard.Report
+}
+
+// Server is the wsyncd control plane. All state lives in memory behind
+// one mutex — the workload is a handful of workers polling at human
+// timescales, not a hot path.
+type Server struct {
+	opts Options
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // job ids in submit order: polls drain the oldest runnable job first
+	nextJob int
+	cache   map[string]shard.Entry // shard.CacheKey -> completed entry
+	costs   map[string]int64       // experiment id -> last observed elapsed_ms (plan feedback)
+	workers map[string]time.Time   // worker name -> last heartbeat
+	leases  []*lease
+
+	done    chan struct{}
+	sweeper sync.WaitGroup
+}
+
+// NewServer builds a server and starts its expiry sweeper. Call Close
+// to stop it.
+func NewServer(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		jobs:    make(map[string]*job),
+		cache:   make(map[string]shard.Entry),
+		costs:   make(map[string]int64),
+		workers: make(map[string]time.Time),
+		done:    make(chan struct{}),
+	}
+	tick := s.opts.HeartbeatTimeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	s.sweeper.Add(1)
+	go func() {
+		defer s.sweeper.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case now := <-t.C:
+				s.expire(now)
+			}
+		}
+	}()
+	return s
+}
+
+// Close stops the expiry sweeper. In-memory state stays readable.
+func (s *Server) Close() {
+	close(s.done)
+	s.sweeper.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/poll", s.handlePoll)
+	mux.HandleFunc("POST /v1/push", s.handlePush)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Quick && req.Full {
+		http.Error(w, "quick and full are mutually exclusive", http.StatusBadRequest)
+		return
+	}
+	selection := req.Run
+	if len(selection) == 0 {
+		selection = harness.IDs()
+	}
+	seen := make(map[string]bool, len(selection))
+	for _, id := range selection {
+		if _, ok := harness.ByID(id); !ok {
+			http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusBadRequest)
+			return
+		}
+		if seen[id] {
+			http.Error(w, fmt.Sprintf("duplicate experiment %q", id), http.StatusBadRequest)
+			return
+		}
+		seen[id] = true
+	}
+	opt := harness.Options{Trials: req.Trials, Seed: req.Seed, Quick: req.Quick, Full: req.Full}
+	effTrials := opt.EffectiveTrials()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextJob++
+	j := &job{
+		id:        fmt.Sprintf("j%d", s.nextJob),
+		spec:      req,
+		selection: selection,
+		effTrials: effTrials,
+		attempts:  make(map[string]int, len(selection)),
+		entries:   make(map[string]shard.Entry, len(selection)),
+		state:     StateRunning,
+	}
+	// Seed from the content-addressed cache before anything reaches a
+	// worker: a hit is a finished experiment, whatever job computed it.
+	now := time.Now()
+	for _, id := range selection {
+		key := shard.CacheKey(shard.Schema, req.Seed, effTrials, req.Quick, req.Full, id)
+		if e, ok := s.cache[key]; ok {
+			j.entries[id] = e
+			j.cached++
+			continue
+		}
+		j.pending = append(j.pending, pendingPoint{id: id, notBefore: now})
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(j.entries) == len(j.selection) {
+		s.finalize(j)
+	}
+	s.logf("svc: job %s submitted: %d experiments, %d from cache", j.id, len(selection), j.cached)
+	writeJSON(w, http.StatusOK, SubmitResponse{JobID: j.id, Total: len(selection), Cached: j.cached})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	st := JobStatus{
+		JobID:   j.id,
+		State:   j.state,
+		Total:   len(j.selection),
+		Done:    len(j.entries),
+		Cached:  j.cached,
+		Retries: j.retries,
+		Error:   j.errMsg,
+	}
+	if j.state == StateDone {
+		st.Report = j.report
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "worker name required", http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.heartbeat(req.Worker, now)
+
+	for _, jobID := range s.order {
+		j := s.jobs[jobID]
+		if j.state != StateRunning {
+			continue
+		}
+		ready := make([]string, 0, len(j.pending))
+		for _, p := range j.pending {
+			if !p.notBefore.After(now) {
+				ready = append(ready, p.id)
+			}
+		}
+		if len(ready) == 0 {
+			continue
+		}
+		chunk, err := shard.Replan(ready, s.liveWorkers(now), s.costs)
+		if err != nil {
+			// Replan rejects only malformed pools; a job that produces one
+			// is a server bug, surfaced as a failed job rather than a hang.
+			s.fail(j, fmt.Sprintf("re-plan: %v", err))
+			continue
+		}
+		take := make(map[string]bool, len(chunk))
+		for _, id := range chunk {
+			take[id] = true
+			j.attempts[id]++
+		}
+		kept := j.pending[:0]
+		for _, p := range j.pending {
+			if !take[p.id] {
+				kept = append(kept, p)
+			}
+		}
+		j.pending = kept
+		s.leases = append(s.leases, &lease{
+			worker:   req.Worker,
+			jobID:    j.id,
+			ids:      chunk,
+			deadline: now.Add(s.opts.HeartbeatTimeout),
+		})
+		s.logf("svc: job %s: assigned %v to worker %s", j.id, chunk, req.Worker)
+		writeJSON(w, http.StatusOK, PollResponse{Assignment: &Assignment{
+			JobID:  j.id,
+			IDs:    chunk,
+			Seed:   j.spec.Seed,
+			Trials: j.spec.Trials,
+			Quick:  j.spec.Quick,
+			Full:   j.spec.Full,
+		}})
+		return
+	}
+	writeJSON(w, http.StatusOK, PollResponse{})
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	var req PushRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Worker != "" {
+		s.heartbeat(req.Worker, now)
+	}
+	j, ok := s.jobs[req.JobID]
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	for _, e := range req.Entries {
+		if e.Table == nil {
+			s.fail(j, fmt.Sprintf("worker %s pushed an entry without a table", req.Worker))
+			break
+		}
+		id := e.Table.ID
+		if prev, dup := j.entries[id]; dup {
+			// A presumed-dead worker finishing late collides with the
+			// re-planned copy; determinism says they must be identical.
+			if same, err := entriesEqual(prev, e); err != nil {
+				s.fail(j, fmt.Sprintf("experiment %s: %v", id, err))
+				break
+			} else if !same {
+				s.fail(j, fmt.Sprintf("experiment %s: conflicting results from workers (determinism violation)", id))
+				break
+			}
+			continue
+		}
+		j.entries[id] = e
+		key := shard.CacheKey(shard.Schema, j.spec.Seed, j.effTrials, j.spec.Quick, j.spec.Full, id)
+		s.cache[key] = e
+		// Observed wall time feeds the next plan — the -plan-costs loop.
+		cost := e.ElapsedMS
+		if cost < 1 {
+			cost = 1
+		}
+		s.costs[id] = cost
+		s.releaseLeased(req.Worker, j.id, id)
+	}
+	if j.state == StateRunning && len(j.entries) == len(j.selection) {
+		s.finalize(j)
+	}
+	s.logf("svc: job %s: worker %s pushed %d entries (%d/%d done, state %s)",
+		j.id, req.Worker, len(req.Entries), len(j.entries), len(j.selection), j.state)
+	writeJSON(w, http.StatusOK, PushResponse{State: j.state})
+}
+
+// heartbeat records a sign of life from the worker and extends its
+// outstanding lease deadlines: any poll or push proves the worker is
+// alive, so an in-flight assignment only needs each single experiment —
+// pushed incrementally — to land within the heartbeat window.
+func (s *Server) heartbeat(worker string, now time.Time) {
+	s.workers[worker] = now
+	for _, l := range s.leases {
+		if l.worker == worker {
+			l.deadline = now.Add(s.opts.HeartbeatTimeout)
+		}
+	}
+}
+
+// liveWorkers counts workers heard from within the heartbeat window
+// (at least 1: the poller asking is alive by definition).
+func (s *Server) liveWorkers(now time.Time) int {
+	live := 0
+	for _, seen := range s.workers {
+		if now.Sub(seen) <= s.opts.HeartbeatTimeout {
+			live++
+		}
+	}
+	if live < 1 {
+		live = 1
+	}
+	return live
+}
+
+// releaseLeased removes one completed id from the worker's lease on the
+// job, dropping the lease when it empties.
+func (s *Server) releaseLeased(worker, jobID, id string) {
+	kept := s.leases[:0]
+	for _, l := range s.leases {
+		if l.worker == worker && l.jobID == jobID {
+			ids := l.ids[:0]
+			for _, lid := range l.ids {
+				if lid != id {
+					ids = append(ids, lid)
+				}
+			}
+			l.ids = ids
+			if len(l.ids) == 0 {
+				continue
+			}
+		}
+		kept = append(kept, l)
+	}
+	s.leases = kept
+}
+
+// expire is the failure detector: leases past their deadline return
+// their unfinished experiments to the pending pool with exponential
+// backoff, or fail the job once an experiment exhausts its attempts.
+func (s *Server) expire(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.leases[:0]
+	for _, l := range s.leases {
+		if l.deadline.After(now) {
+			kept = append(kept, l)
+			continue
+		}
+		j := s.jobs[l.jobID]
+		if j == nil || j.state != StateRunning {
+			continue
+		}
+		for _, id := range l.ids {
+			if _, done := j.entries[id]; done {
+				continue
+			}
+			if j.attempts[id] >= s.opts.MaxAttempts {
+				s.fail(j, fmt.Sprintf(
+					"experiment %s failed %d attempts; worker %s missed its heartbeat deadline",
+					id, j.attempts[id], l.worker))
+				break
+			}
+			backoff := s.opts.RetryBase << (j.attempts[id] - 1)
+			j.pending = append(j.pending, pendingPoint{id: id, notBefore: now.Add(backoff)})
+			j.retries++
+			s.logf("svc: job %s: worker %s presumed dead; re-planning %s (attempt %d, backoff %v)",
+				j.id, l.worker, id, j.attempts[id], backoff)
+		}
+	}
+	s.leases = kept
+}
+
+// finalize assembles the completed job's report: entries in selection
+// order run through shard.Merge, which validates them and imposes the
+// catalogue order an unsharded run would have produced.
+func (s *Server) finalize(j *job) {
+	rep := &shard.Report{
+		Schema:          shard.Schema,
+		Trials:          j.spec.Trials,
+		EffectiveTrials: j.effTrials,
+		Seed:            j.spec.Seed,
+		Quick:           j.spec.Quick,
+		Full:            j.spec.Full,
+		Experiments:     make([]shard.Entry, 0, len(j.selection)),
+	}
+	for _, id := range j.selection {
+		rep.Experiments = append(rep.Experiments, j.entries[id])
+	}
+	merged, err := shard.Merge([]*shard.Report{rep})
+	if err != nil {
+		s.fail(j, fmt.Sprintf("assembling report: %v", err))
+		return
+	}
+	j.report = merged
+	j.state = StateDone
+	s.logf("svc: job %s done (%d experiments, %d cached, %d retries)",
+		j.id, len(j.selection), j.cached, j.retries)
+}
+
+func (s *Server) fail(j *job, msg string) {
+	if j.state != StateRunning {
+		return
+	}
+	j.state = StateFailed
+	j.errMsg = msg
+	s.logf("svc: job %s failed: %s", j.id, msg)
+}
+
+// entriesEqual compares two entries on their deterministic fields —
+// canonical table JSON and node_rounds — ignoring the volatile wall
+// time and throughput.
+func entriesEqual(a, b shard.Entry) (bool, error) {
+	if a.NodeRounds != b.NodeRounds {
+		return false, nil
+	}
+	aj, err := json.Marshal(a.Table)
+	if err != nil {
+		return false, err
+	}
+	bj, err := json.Marshal(b.Table)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(aj, bj), nil
+}

@@ -1,0 +1,122 @@
+// Package svc implements the wsyncd job service: an HTTP/JSON control
+// plane that serves benchmark sweeps over the sharding machinery in
+// internal/shard.
+//
+// A client submits a sweep (seed, trials, tier, experiment selection)
+// and gets a job id; workers register by polling, receive experiment
+// assignments carved from the pending pool with shard.Replan, run them
+// through internal/harness, and push back per-experiment entries. The
+// server folds entries into the job and, when the selection is covered,
+// assembles the final wsync-bench/v1 report through shard.Merge — so a
+// served sweep is byte-identical (after ZeroVolatile) to the report an
+// unsharded `wexp -json` run would emit.
+//
+// Three properties make the service always-on rather than a one-shot
+// dispatcher:
+//
+//   - Retry/re-plan: a worker that misses its heartbeat deadline has its
+//     unfinished experiments returned to the pending pool with
+//     exponential backoff and re-planned across the surviving workers;
+//     a bounded number of attempts per experiment turns a persistent
+//     failure into a failed job with a diagnostic instead of a hang.
+//   - Content-addressed result cache: every completed entry is stored
+//     under shard.CacheKey(schema, seed, point key, trials); a
+//     resubmitted sweep is served from cache without touching a worker,
+//     and overlapping sweeps share work at experiment granularity.
+//   - Cost feedback: each entry's elapsed_ms updates the server's cost
+//     table, so later plans balance partitions by observed wall time —
+//     the `-plan-costs` loop, closed automatically.
+//
+// The wire protocol (all request and response bodies are JSON) is:
+//
+//	POST /v1/jobs            SubmitRequest  -> SubmitResponse
+//	GET  /v1/jobs/{id}                      -> JobStatus
+//	POST /v1/poll            PollRequest    -> PollResponse
+//	POST /v1/push            PushRequest    -> PushResponse
+//	GET  /v1/healthz                        -> 200 "ok"
+//
+// docs/BENCH_FORMAT.md ("The wsyncd job service") is the spec.
+package svc
+
+import "wsync/internal/shard"
+
+// SubmitRequest describes one sweep: the identity tuple of the
+// determinism contract. Run is the experiment selection in catalogue
+// order terms (empty means the full catalogue); unknown ids are
+// rejected at submit time.
+type SubmitRequest struct {
+	Seed   uint64   `json:"seed"`
+	Trials int      `json:"trials"`
+	Quick  bool     `json:"quick"`
+	Full   bool     `json:"full"`
+	Run    []string `json:"run,omitempty"`
+}
+
+// SubmitResponse acknowledges a job. Cached counts the experiments
+// served immediately from the content-addressed cache; when Cached ==
+// Total the job is already done and no worker will be involved.
+type SubmitResponse struct {
+	JobID  string `json:"job_id"`
+	Total  int    `json:"total"`
+	Cached int    `json:"cached"`
+}
+
+// Job states reported by JobStatus.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the polling view of a job. Report is present only in
+// state "done"; Error only in state "failed". Retries counts experiment
+// re-plans caused by workers missing their heartbeat deadline.
+type JobStatus struct {
+	JobID   string        `json:"job_id"`
+	State   string        `json:"state"`
+	Total   int           `json:"total"`
+	Done    int           `json:"done"`
+	Cached  int           `json:"cached"`
+	Retries int           `json:"retries"`
+	Error   string        `json:"error,omitempty"`
+	Report  *shard.Report `json:"report,omitempty"`
+}
+
+// PollRequest registers (or heartbeats) a worker and asks for work.
+type PollRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Assignment is one unit of work: run IDs under the job's sweep options
+// and push the entries back. The id list is a shard.Replan slice of the
+// job's pending pool — roughly 1/live-workers of it by estimated cost.
+type Assignment struct {
+	JobID  string   `json:"job_id"`
+	IDs    []string `json:"ids"`
+	Seed   uint64   `json:"seed"`
+	Trials int      `json:"trials"`
+	Quick  bool     `json:"quick"`
+	Full   bool     `json:"full"`
+}
+
+// PollResponse carries an assignment, or nothing when no work is ready
+// (the worker sleeps one poll interval and asks again).
+type PollResponse struct {
+	Assignment *Assignment `json:"assignment,omitempty"`
+}
+
+// PushRequest returns completed entries for a job. Entries from a
+// worker the server had presumed dead are accepted and collapse against
+// the re-planned copies when identical — determinism makes duplicates
+// harmless; a conflicting duplicate fails the job loudly instead.
+type PushRequest struct {
+	Worker  string        `json:"worker"`
+	JobID   string        `json:"job_id"`
+	Entries []shard.Entry `json:"entries"`
+}
+
+// PushResponse reports the job state after folding the pushed entries,
+// so a worker learns immediately when its job finished or failed.
+type PushResponse struct {
+	State string `json:"state"`
+}

@@ -1,0 +1,139 @@
+package svc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wsync/internal/harness"
+	"wsync/internal/multihop"
+	"wsync/internal/rendezvous"
+	"wsync/internal/shard"
+	"wsync/internal/sim"
+)
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Server is the wsyncd base URL.
+	Server string
+	// Name identifies this worker to the server; it must be unique among
+	// concurrently polling workers (the failure detector is per name).
+	Name string
+	// PollInterval is the idle sleep between polls. Default 500ms.
+	PollInterval time.Duration
+	// Parallelism is the trial-runner worker count passed to the harness
+	// (0 = one per CPU). Results are bit-identical at any setting.
+	Parallelism int
+	// Logf, if non-nil, receives one line per assignment and push.
+	Logf func(format string, args ...any)
+}
+
+// nodeRoundsTotal sums the per-engine node-round counters, mirroring
+// wexp: sampled around each experiment, the delta is that experiment's
+// deterministic node_rounds figure. Experiments run serially within a
+// worker, so the delta is exact.
+func nodeRoundsTotal() uint64 {
+	return sim.TotalNodeRounds() + multihop.TotalNodeRounds() + rendezvous.TotalNodeRounds()
+}
+
+// RunWorker polls the server for assignments, runs them through the
+// harness, and pushes the entries back, until ctx is cancelled (which
+// returns nil) or an assignment names an experiment this binary does
+// not know (a version skew error worth dying loudly for). Transport
+// errors are logged and retried — a worker outlives server restarts.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Name == "" {
+		return fmt.Errorf("svc: worker name required")
+	}
+	interval := opts.PollInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := &Client{Base: opts.Server}
+
+	sleep := func() bool {
+		t := time.NewTimer(interval)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		a, err := client.Poll(opts.Name)
+		if err != nil {
+			logf("svc: worker %s: poll: %v", opts.Name, err)
+			if !sleep() {
+				return nil
+			}
+			continue
+		}
+		if a == nil {
+			if !sleep() {
+				return nil
+			}
+			continue
+		}
+		logf("svc: worker %s: job %s: running %v", opts.Name, a.JobID, a.IDs)
+		opt := harness.Options{
+			Trials:      a.Trials,
+			Seed:        a.Seed,
+			Quick:       a.Quick,
+			Full:        a.Full,
+			Parallelism: opts.Parallelism,
+		}
+		for _, id := range a.IDs {
+			if ctx.Err() != nil {
+				return nil
+			}
+			e, ok := harness.ByID(id)
+			if !ok {
+				return fmt.Errorf("svc: worker %s assigned unknown experiment %q (server/worker version skew?)", opts.Name, id)
+			}
+			nrBefore := nodeRoundsTotal()
+			start := time.Now()
+			tbl, err := e.Run(opt)
+			if err != nil {
+				// An experiment failing deterministically would fail on every
+				// worker; letting the lease expire is worse than telling the
+				// operator. Log and skip the push for this id — the server's
+				// attempt bound turns persistent failure into a failed job
+				// with a diagnostic.
+				logf("svc: worker %s: job %s: %s: %v", opts.Name, a.JobID, id, err)
+				continue
+			}
+			elapsed := time.Since(start)
+			nodeRounds := nodeRoundsTotal() - nrBefore
+			var nrPerSec float64
+			if s := elapsed.Seconds(); s > 0 {
+				nrPerSec = float64(nodeRounds) / s
+			}
+			// Push each entry as it completes: the push doubles as a
+			// heartbeat (the server extends this worker's lease deadlines),
+			// so a long assignment only needs every single experiment — not
+			// the whole chunk — to finish within the heartbeat window. It
+			// also narrows the re-plan after a crash to the truly lost work.
+			state, err := client.Push(opts.Name, a.JobID, []shard.Entry{{
+				Table:            tbl,
+				ElapsedMS:        elapsed.Round(time.Millisecond).Milliseconds(),
+				NodeRounds:       nodeRounds,
+				NodeRoundsPerSec: nrPerSec,
+			}})
+			if err != nil {
+				logf("svc: worker %s: push %s: %v", opts.Name, id, err)
+				continue
+			}
+			logf("svc: worker %s: job %s: pushed %s (job %s)", opts.Name, a.JobID, id, state)
+		}
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"strconv"
 	"sync"
 	"syscall"
+	"time"
 
+	"wsync/internal/obs"
 	"wsync/internal/shard"
 )
 
@@ -31,9 +33,16 @@ import (
 // kills them all, every goroutine joins, and only then does the deferred
 // RemoveAll run. TestDispatchInterruptKillsChildren pins this with a
 // deliberately slow child.
-func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
+func runDispatch(k int, childArgs []string, reg *obs.Registry, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Dispatcher-side counters, snapshotted by -metrics-out: how many
+	// shard subprocesses ran, how long each took, and what the merge saw.
+	metShards := reg.Counter("wsync_dispatch_shards_total", "Shard subprocesses spawned.")
+	metShardFailures := reg.Counter("wsync_dispatch_shard_failures_total", "Shard subprocesses that exited non-zero or left a bad artifact.")
+	metEntries := reg.Counter("wsync_dispatch_entries_merged_total", "Experiment entries folded into the merged report.")
+	metShardSeconds := reg.Histogram("wsync_dispatch_shard_seconds", "Wall time per shard subprocess.", obs.DefTimeBuckets)
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -81,9 +90,12 @@ func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
 		// the real wexp binary ignores it.
 		cmd.Env = append(os.Environ(), "WEXP_DISPATCH_CHILD=1")
 		wg.Add(1)
+		metShards.Inc()
 		go func(i int, cmd *exec.Cmd, f *os.File) {
 			defer wg.Done()
+			start := time.Now()
 			err := cmd.Run()
+			metShardSeconds.Observe(time.Since(start).Seconds())
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -103,6 +115,7 @@ func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
 	for i, err := range errs {
 		if err != nil {
 			fmt.Fprintf(stderr, "wexp: -dispatch: shard %d: %v\n", i, err)
+			metShardFailures.Inc()
 			failed = true
 		}
 	}
@@ -115,6 +128,7 @@ func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
 		r, err := readShardArtifact(p, i)
 		if err != nil {
 			fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
+			metShardFailures.Inc()
 			failed = true
 			continue
 		}
@@ -128,6 +142,7 @@ func runDispatch(k int, childArgs []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wexp: -dispatch: %v\n", err)
 		return 1
 	}
+	metEntries.Add(uint64(len(merged.Experiments)))
 	if err := merged.Encode(stdout); err != nil {
 		fmt.Fprintf(stderr, "wexp: %v\n", err)
 		return 1

@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"wsync/internal/obs"
 )
 
 // TestDispatchReportsAllFailures pins the every-shard error contract:
@@ -24,7 +26,7 @@ func TestDispatchReportsAllFailures(t *testing.T) {
 	}
 	var stdout, stderr bytes.Buffer
 	// Every child rejects the unknown experiment id and exits 2.
-	code := runDispatch(3, []string{"-run", "ZZZ"}, &stdout, &stderr)
+	code := runDispatch(3, []string{"-run", "ZZZ"}, obs.NewRegistry(), &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
@@ -44,7 +46,7 @@ func TestDispatchEmptyArtifactDiagnostic(t *testing.T) {
 	}
 	t.Setenv("WEXP_TEST_CHILD_MODE", "exit-silent")
 	var stdout, stderr bytes.Buffer
-	code := runDispatch(2, []string{"-quick", "-trials", "1", "-run", "F1,L2"}, &stdout, &stderr)
+	code := runDispatch(2, []string{"-quick", "-trials", "1", "-run", "F1,L2"}, obs.NewRegistry(), &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
@@ -67,7 +69,7 @@ func TestDispatchTruncatedArtifactDiagnostic(t *testing.T) {
 	}
 	t.Setenv("WEXP_TEST_CHILD_MODE", "truncate")
 	var stdout, stderr bytes.Buffer
-	code := runDispatch(2, []string{"-quick", "-trials", "1", "-run", "F1,L2"}, &stdout, &stderr)
+	code := runDispatch(2, []string{"-quick", "-trials", "1", "-run", "F1,L2"}, obs.NewRegistry(), &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}

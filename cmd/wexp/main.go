@@ -66,6 +66,7 @@ import (
 
 	"wsync/internal/harness"
 	"wsync/internal/multihop"
+	"wsync/internal/obs"
 	"wsync/internal/rendezvous"
 	"wsync/internal/shard"
 	"wsync/internal/sim"
@@ -117,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		planCosts = fs.String("plan-costs", "", "prior wsync-bench/v1 report whose elapsed_ms values balance the shard partition")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write an end-of-run allocation profile to this file")
+		metricsRt = fs.String("metrics-out", "", "write a Prometheus text snapshot of the run's metrics to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -166,6 +168,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-5s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	// The run's own metric registry — the offline counterpart of wsyncd's
+	// /metrics endpoint, snapshotted to a file on every exit path so even
+	// a failed run leaves its partial counts behind.
+	reg := obs.NewRegistry()
+	if *metricsRt != "" {
+		defer func() {
+			f, err := os.Create(*metricsRt)
+			if err != nil {
+				fmt.Fprintf(stderr, "wexp: -metrics-out: %v\n", err)
+				return
+			}
+			werr := reg.WritePrometheus(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(stderr, "wexp: -metrics-out: %v\n", werr)
+			}
+		}()
 	}
 
 	if *cpuProf != "" {
@@ -237,7 +260,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *planCosts != "" {
 			childArgs = append(childArgs, "-plan-costs", *planCosts)
 		}
-		return runDispatch(*dispatch, childArgs, stdout, stderr)
+		return runDispatch(*dispatch, childArgs, reg, stdout, stderr)
 	}
 
 	if *submit != "" {
@@ -322,6 +345,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Experiments:          []shard.Entry{},
 	}
 
+	// Serial-run counters, mirrors of the wsync_worker_* set: node-rounds
+	// are sampled as deltas of the engines' process-global atomics, never
+	// instrumenting the round loops themselves (see internal/obs doc).
+	metExperiments := reg.Counter("wsync_run_experiments_total", "Experiments run to completion by this invocation.")
+	metNodeRounds := reg.Counter("wsync_run_node_rounds_total", "Engine node-rounds executed (delta-sampled; docs/BENCH_FORMAT.md).")
+	metExpSeconds := reg.Histogram("wsync_run_experiment_seconds", "Wall time per experiment.", obs.DefTimeBuckets)
+
 	for _, e := range selected {
 		nrBefore := nodeRoundsTotal()
 		start := time.Now()
@@ -334,6 +364,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Experiments run serially, so the counter delta is exactly this
 		// experiment's work even though trials within it run in parallel.
 		nodeRounds := nodeRoundsTotal() - nrBefore
+		metExperiments.Inc()
+		metNodeRounds.Add(nodeRounds)
+		metExpSeconds.Observe(time.Since(start).Seconds())
 		var nrPerSec float64
 		if s := time.Since(start).Seconds(); s > 0 {
 			nrPerSec = float64(nodeRounds) / s

@@ -145,6 +145,7 @@ func RunConcurrent(c *Config) (*Result, error) {
 func (e *engine) runRoundConcurrent(r uint64, barrier func(concurrentCmd)) (stop bool) {
 	c := e.cfg
 	res := e.res
+	e.beginObserve(r)
 	if c.Churn != nil {
 		// Serialized graph mutation: no worker is in flight here, so the
 		// delta apply and SetGraph swap cannot race agent stepping.
@@ -189,6 +190,7 @@ func (e *engine) runRoundConcurrent(r uint64, barrier func(concurrentCmd)) (stop
 	}
 	e.hist.Completed = r
 	res.Rounds = r
+	e.endObserve(disrupted)
 	if c.StopWhen != nil && c.StopWhen(r) {
 		return true
 	}

@@ -69,6 +69,14 @@ type Config struct {
 	// after every round, in addition to the default rule). Closures
 	// typically inspect retained agent references.
 	StopWhen func(round uint64) bool
+	// Observers are notified after each round with the same
+	// sim.RoundRecord the single-hop engine produces (Clear stays empty:
+	// "clear broadcast" is a single-hop, shared-medium notion), so
+	// observers like trace.Recorder work on churned multi-hop runs
+	// unchanged. Record storage is reused between rounds — the
+	// sim.Observer contract. With no observers the engine skips all
+	// record building, preserving the zero-allocation round loop.
+	Observers []sim.Observer
 	// Medium selects the medium-resolution path, mirroring sim.Config.
 	// The zero value (sim.MediumIndexed) is the frequency-indexed fast
 	// path: per-round work is O(active), with each listener's reception
@@ -183,6 +191,12 @@ type engine struct {
 	synced         int
 	activatedCount int
 
+	// rec is the reusable observer record; observe gates every record
+	// write so unobserved runs (all benchmarks, the zero-alloc pins) pay
+	// only dead branch checks.
+	rec     sim.RoundRecord
+	observe bool
+
 	// churnEdges is the rebuild oracle's edge set (normalized lo<<32|hi
 	// keys), maintained only under Config.ChurnRebuild.
 	churnEdges map[uint64]struct{}
@@ -210,6 +224,14 @@ func newEngine(c *Config) (*engine, error) {
 		hist:       &sim.History{F: c.F, Activated: make([]uint64, n), Received: make([]bool, n)},
 		res:        &Result{SyncRound: make([]uint64, n)},
 		empty:      freqset.New(c.F),
+	}
+	if len(c.Observers) > 0 {
+		e.observe = true
+		e.rec = sim.RoundRecord{
+			Actions:    make([]sim.ActionRecord, 0, n),
+			Deliveries: make([]sim.Delivery, 0, n),
+			Outputs:    make([]sim.Output, n),
+		}
 	}
 	if c.Churn != nil {
 		// Delta mutations must never reach the caller's topology, which
@@ -327,6 +349,47 @@ func (e *engine) queueDelivery(i, from int) {
 	e.pendingList = append(e.pendingList, i)
 	e.hist.Received[i] = true
 	e.res.Deliveries++
+	if e.observe {
+		e.rec.Deliveries = append(e.rec.Deliveries,
+			sim.Delivery{From: sim.NodeID(from), To: sim.NodeID(i), Freq: int(e.actFreq[i])})
+	}
+}
+
+// beginObserve resets the reusable record for round r. No-op without
+// observers.
+func (e *engine) beginObserve(r uint64) {
+	if !e.observe {
+		return
+	}
+	e.rec.Round = r
+	e.rec.Actions = e.rec.Actions[:0]
+	e.rec.Deliveries = e.rec.Deliveries[:0]
+}
+
+// endObserve completes the round's record — actions of the awake nodes,
+// every node's post-round output (⊥ for inactive ones) — and notifies
+// the observers. Output() is a pure getter on every agent in this
+// repository, so reading it for already-synced nodes does not perturb
+// the run. No-op without observers.
+func (e *engine) endObserve(disrupted *freqset.Set) {
+	if !e.observe {
+		return
+	}
+	e.rec.Disrupted = disrupted
+	for _, i := range e.act.Active() {
+		e.rec.Actions = append(e.rec.Actions,
+			sim.ActionRecord{Node: sim.NodeID(i), Freq: int(e.actFreq[i]), Transmit: e.actTx[i]})
+	}
+	for i := 0; i < e.n; i++ {
+		if e.active[i] {
+			e.rec.Outputs[i] = e.agents[i].Output()
+		} else {
+			e.rec.Outputs[i] = sim.Output{}
+		}
+	}
+	for _, ob := range e.cfg.Observers {
+		ob.ObserveRound(&e.rec)
+	}
 }
 
 // resolveScan is the legacy per-receiver resolver: every listener walks
@@ -395,6 +458,7 @@ func (e *engine) resolveIndexed(disrupted *freqset.Set) {
 func (e *engine) runRound(r uint64) (stop bool) {
 	c := e.cfg
 	res := e.res
+	e.beginObserve(r)
 	if c.Churn != nil {
 		e.churnRound(r)
 	}
@@ -451,6 +515,7 @@ func (e *engine) runRound(r uint64) (stop bool) {
 	}
 	e.hist.Completed = r
 	res.Rounds = r
+	e.endObserve(disrupted)
 	if c.StopWhen != nil && c.StopWhen(r) {
 		return true
 	}

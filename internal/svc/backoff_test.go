@@ -1,0 +1,58 @@
+package svc_test
+
+import (
+	"testing"
+	"time"
+
+	"wsync/internal/svc"
+)
+
+// TestBackoffSequence pins the deterministic skeleton (jitter forced to
+// its upper edge): doubling from Base, capped at Max, back to Base
+// after Reset.
+func TestBackoffSequence(t *testing.T) {
+	b := svc.Backoff{
+		Base: 100 * time.Millisecond,
+		Max:  400 * time.Millisecond,
+		Rand: func() float64 { return 0.999999 },
+	}
+	approx := func(got, want time.Duration) bool {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Millisecond
+	}
+	for i, want := range []time.Duration{100, 200, 400, 400, 400} {
+		if got := b.Next(); !approx(got, want*time.Millisecond) {
+			t.Errorf("Next #%d = %v, want ~%v", i, got, want*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); !approx(got, 100*time.Millisecond) {
+		t.Errorf("Next after Reset = %v, want ~100ms", got)
+	}
+}
+
+// TestBackoffJitterRange pins the equal-jitter window: every delay
+// lands in [d/2, d).
+func TestBackoffJitterRange(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 0.999999} {
+		b := svc.Backoff{Base: 100 * time.Millisecond, Rand: func() float64 { return r }}
+		got := b.Next()
+		if got < 50*time.Millisecond || got >= 100*time.Millisecond {
+			t.Errorf("Rand=%v: Next = %v, outside [50ms, 100ms)", r, got)
+		}
+	}
+}
+
+// TestBackoffZeroValue pins that the zero value is usable.
+func TestBackoffZeroValue(t *testing.T) {
+	var b svc.Backoff
+	for i := 0; i < 20; i++ {
+		d := b.Next()
+		if d <= 0 || d > 3200*time.Millisecond {
+			t.Fatalf("zero-value Next #%d = %v", i, d)
+		}
+	}
+}

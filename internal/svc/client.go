@@ -1,12 +1,18 @@
 package svc
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"wsync/internal/shard"
 )
@@ -50,8 +56,7 @@ func (c *Client) call(method, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("svc: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(msg)))
+		return statusError(method, path, resp)
 	}
 	if out == nil {
 		return nil
@@ -97,4 +102,201 @@ func (c *Client) Push(worker, jobID string, entries []shard.Entry) (string, erro
 		return "", err
 	}
 	return out.State, nil
+}
+
+// APIError is a non-2xx server answer, distinguishable from transport
+// failures so callers can tell "the server said no" (permanent) from
+// "the server is unreachable" (retry).
+type APIError struct {
+	StatusCode int
+	Method     string
+	Path       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("svc: %s %s: %d: %s", e.Method, e.Path, e.StatusCode, e.Message)
+}
+
+func statusError(method, path string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Method:     method,
+		Path:       path,
+		Message:    strings.TrimSpace(string(msg)),
+	}
+}
+
+// permanentErr reports whether err is a server verdict no retry can
+// change (any 4xx — unknown job, bad cursor).
+func permanentErr(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode/100 == 4
+}
+
+// errStreamTruncated marks an SSE stream that ended before the job's
+// terminal event — a server drain or connection loss, worth a retry.
+var errStreamTruncated = errors.New("svc: event stream ended before a terminal event")
+
+// Events follows a job's SSE event stream, invoking fn for each event
+// in order, starting after the given cursor. It returns nil once a
+// terminal event (state done or failed) has been delivered, ctx.Err()
+// on cancellation, errStreamTruncated if the server ended the stream
+// early (drain), or a transport/API error. Callers wanting automatic
+// fallback use Watch instead.
+func (c *Client) Events(ctx context.Context, jobID string, after int, fn func(JobEvent)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.Base, "/")+"/v1/jobs/"+jobID+"/events?after="+strconv.Itoa(after), nil)
+	if err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return statusError(http.MethodGet, "/v1/jobs/"+jobID+"/events", resp)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// A server predating the events endpoint (or a proxy rewriting it)
+		// answered with JSON; treat as truncation so Watch falls back.
+		return errStreamTruncated
+	}
+	terminal := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "":
+			if len(data) == 0 {
+				continue
+			}
+			var ev JobEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("svc: decoding event: %w", err)
+			}
+			data = data[:0]
+			fn(ev)
+			if ev.State != StateRunning {
+				terminal = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("svc: reading event stream: %w", err)
+	}
+	if terminal {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return errStreamTruncated
+}
+
+// EventsLongPoll fetches the events after the cursor, letting the
+// server hold the request up to wait when none are pending yet.
+func (c *Client) EventsLongPoll(ctx context.Context, jobID string, after int, wait time.Duration) ([]JobEvent, error) {
+	q := url.Values{}
+	q.Set("after", strconv.Itoa(after))
+	q.Set("wait", wait.String())
+	path := "/v1/jobs/" + jobID + "/events"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.Base, "/")+path+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("svc: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("svc: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, statusError(http.MethodGet, path, resp)
+	}
+	var out EventsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("svc: decoding %s response: %w", path, err)
+	}
+	return out.Events, nil
+}
+
+// Watch follows a job to its terminal state, invoking fn for every
+// event exactly once, in sequence order. It prefers the SSE stream and
+// falls back to long-polling when streaming fails, retrying transport
+// errors with jittered exponential backoff; the ?after cursor makes the
+// switchover seamless. Returns nil after a terminal event, ctx.Err()
+// on cancellation, or the first permanent (4xx) error.
+func (c *Client) Watch(ctx context.Context, jobID string, fn func(JobEvent)) error {
+	after := 0
+	terminal := false
+	deliver := func(ev JobEvent) {
+		if ev.Seq <= after {
+			return
+		}
+		after = ev.Seq
+		if ev.State != StateRunning {
+			terminal = true
+		}
+		fn(ev)
+	}
+	backoff := Backoff{Base: 200 * time.Millisecond, Max: 5 * time.Second}
+	sseBroken := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		if !sseBroken {
+			err = c.Events(ctx, jobID, after, deliver)
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, errStreamTruncated) {
+				// The stream worked but ended early (server drain): retry
+				// streaming rather than downgrading to polling.
+				if terminal {
+					return nil
+				}
+			} else {
+				sseBroken = true
+			}
+		} else {
+			var evs []JobEvent
+			evs, err = c.EventsLongPoll(ctx, jobID, after, 25*time.Second)
+			if err == nil {
+				for _, ev := range evs {
+					deliver(ev)
+				}
+				if terminal {
+					return nil
+				}
+				backoff.Reset()
+				continue
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if permanentErr(err) {
+			return err
+		}
+		t := time.NewTimer(backoff.Next())
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
 }

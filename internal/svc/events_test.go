@@ -1,0 +1,195 @@
+package svc_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wsync/internal/svc"
+)
+
+// TestEventStreamEndToEnd is the SSE acceptance path: a watched job
+// emits its transitions in order — "submitted" first, a terminal "done"
+// last, sequence numbers strictly increasing — and the terminal event
+// agrees with what GET /v1/jobs/{id} reports.
+func TestEventStreamEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	_, client := startServer(t, svc.Options{Log: testLogger(t)})
+	startWorker(t, client, "w1")
+
+	sub, err := client.Submit(svc.SubmitRequest{Seed: 11, Trials: 1, Quick: true, Run: []string{"F1", "L2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	var events []svc.JobEvent
+	if err := client.Watch(ctx, sub.JobID, func(ev svc.JobEvent) {
+		events = append(events, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("watch returned without delivering any events")
+	}
+	if events[0].Kind != svc.EventSubmitted {
+		t.Errorf("first event kind = %q, want %q", events[0].Kind, svc.EventSubmitted)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("event sequence not increasing: %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Kind != svc.EventDone || last.State != svc.StateDone {
+		t.Fatalf("terminal event = %+v, want kind done", last)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.State != svc.StateRunning {
+			t.Fatalf("non-terminal event %+v carries terminal state", ev)
+		}
+	}
+	st, err := client.Status(sub.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != last.State || st.Done != last.Done || st.Total != last.Total || st.Retries != last.Retries {
+		t.Errorf("terminal event %+v disagrees with status %+v", last, st)
+	}
+}
+
+// TestEventsLongPoll pins the fallback transport: the ?after cursor
+// dedups, a satisfied cursor blocks until the wait elapses, and a
+// cached (instantly terminal) job delivers submitted+done in one round.
+func TestEventsLongPoll(t *testing.T) {
+	_, client := startServer(t, svc.Options{})
+	sub, err := client.Submit(svc.SubmitRequest{Seed: 21, Trials: 1, Quick: true, Run: []string{"F1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	evs, err := client.EventsLongPoll(ctx, sub.JobID, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != svc.EventSubmitted || evs[0].Seq != 1 {
+		t.Fatalf("after=0 events = %+v, want one submitted event with seq 1", evs)
+	}
+
+	// Cursor at the tip: nothing arrives, the wait elapses, empty answer.
+	start := time.Now()
+	evs, err = client.EventsLongPoll(ctx, sub.JobID, 1, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("tip cursor returned events: %+v", evs)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("long poll returned before the wait elapsed")
+	}
+
+	if _, err := client.EventsLongPoll(ctx, "nope", 0, 0); err == nil || !strings.Contains(err.Error(), "no such job") {
+		t.Errorf("unknown job err = %v", err)
+	}
+}
+
+// TestWatchUnknownJobIsPermanent pins that Watch fails fast on a 404
+// instead of retrying forever.
+func TestWatchUnknownJobIsPermanent(t *testing.T) {
+	_, client := startServer(t, svc.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := client.Watch(ctx, "nope", func(svc.JobEvent) {})
+	if err == nil || ctx.Err() != nil {
+		t.Fatalf("watch err = %v (ctx %v), want a prompt 404", err, ctx.Err())
+	}
+	if !strings.Contains(err.Error(), "404") {
+		t.Errorf("err %v does not carry the status", err)
+	}
+}
+
+// TestHealthzDraining pins the drain protocol: 200 ok before, 503 with
+// a "draining" JSON body after BeginDrain, and open event streams end
+// so a graceful shutdown is not held hostage by a subscriber.
+func TestHealthzDraining(t *testing.T) {
+	s, client := startServer(t, svc.Options{})
+
+	get := func() (int, svc.Health) {
+		t.Helper()
+		resp, err := http.Get(client.Base + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h svc.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get(); code != http.StatusOK || h.Status != svc.HealthOK {
+		t.Fatalf("healthz before drain = %d %+v, want 200 ok", code, h)
+	}
+
+	// A live SSE subscriber on a running job.
+	sub, err := client.Submit(svc.SubmitRequest{Seed: 31, Trials: 1, Quick: true, Run: []string{"F1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- client.Events(context.Background(), sub.JobID, 0, func(svc.JobEvent) {})
+	}()
+	// Give the stream a moment to attach before draining.
+	time.Sleep(50 * time.Millisecond)
+
+	s.BeginDrain()
+	if code, h := get(); code != http.StatusServiceUnavailable || h.Status != svc.HealthDraining {
+		t.Fatalf("healthz after drain = %d %+v, want 503 draining", code, h)
+	}
+	select {
+	case err := <-streamDone:
+		if err == nil {
+			t.Error("stream on a running job ended nil; want a truncation error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not end after BeginDrain")
+	}
+}
+
+// TestMetricsEndpoint pins that the server's registry is mounted on the
+// job mux and counts submissions without any worker involvement.
+func TestMetricsEndpoint(t *testing.T) {
+	_, client := startServer(t, svc.Options{})
+	if _, err := client.Submit(svc.SubmitRequest{Seed: 41, Trials: 1, Quick: true, Run: []string{"F1"}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(client.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"wsync_jobs_submitted_total 1",
+		"wsync_jobs_running 1",
+		"wsync_cache_misses_total 1",
+		"# TYPE wsync_push_latency_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

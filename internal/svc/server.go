@@ -4,11 +4,17 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsync/internal/harness"
+	"wsync/internal/obs"
 	"wsync/internal/shard"
 )
 
@@ -27,9 +33,14 @@ type Options struct {
 	// MaxAttempts bounds assignments per experiment; exceeding it fails
 	// the whole job with a diagnostic naming the experiment. Default 3.
 	MaxAttempts int
-	// Logf, if non-nil, receives one line per state transition
-	// (assignment, push, expiry, completion).
-	Logf func(format string, args ...any)
+	// Log receives one structured record per state transition
+	// (assignment, push, expiry, completion), each carrying job- and
+	// worker-scoped attributes. Nil discards them.
+	Log *slog.Logger
+	// Metrics is the registry the server registers its wsync_* metrics
+	// in (docs/OBSERVABILITY.md catalogues them); nil means a private
+	// registry, reachable through Server.Metrics.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -42,7 +53,59 @@ func (o Options) withDefaults() Options {
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
 	}
+	if o.Log == nil {
+		o.Log = discardLogger()
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
 	return o
+}
+
+// discardLogger builds a logger that drops everything (slog has no
+// ready-made discard handler at this module's Go floor).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// serverMetrics is the wsync_* metric set; docs/OBSERVABILITY.md is the
+// catalogue.
+type serverMetrics struct {
+	jobsSubmitted  *obs.Counter
+	jobsCompleted  *obs.Counter
+	jobsFailed     *obs.Counter
+	jobsRunning    *obs.Gauge
+	leasesGranted  *obs.Counter
+	heartbeats     *obs.Counter
+	replans        *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheConflicts *obs.Counter
+	entriesPushed  *obs.Counter
+	nodeRounds     *obs.Counter
+	pushLatency    *obs.Histogram
+	inflight       *obs.GaugeVec
+	subscribers    *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		jobsSubmitted:  reg.Counter("wsync_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
+		jobsCompleted:  reg.Counter("wsync_jobs_completed_total", "Jobs that reached state done."),
+		jobsFailed:     reg.Counter("wsync_jobs_failed_total", "Jobs that reached state failed."),
+		jobsRunning:    reg.Gauge("wsync_jobs_running", "Jobs currently in state running."),
+		leasesGranted:  reg.Counter("wsync_leases_granted_total", "Assignments handed to polling workers."),
+		heartbeats:     reg.Counter("wsync_heartbeats_total", "Worker signs of life (every poll and push)."),
+		replans:        reg.Counter("wsync_replans_total", "Experiments re-planned after a worker missed its heartbeat deadline."),
+		cacheHits:      reg.Counter("wsync_cache_hits_total", "Experiments served from the content-addressed result cache at submit."),
+		cacheMisses:    reg.Counter("wsync_cache_misses_total", "Experiments that missed the cache at submit and entered the pending pool."),
+		cacheConflicts: reg.Counter("wsync_cache_conflicts_total", "Pushed entries conflicting with an already-recorded result (determinism violations)."),
+		entriesPushed:  reg.Counter("wsync_entries_pushed_total", "Completed experiment entries accepted from workers."),
+		nodeRounds:     reg.Counter("wsync_node_rounds_total", "Engine node-rounds reported by accepted entries (the deterministic work measure of docs/BENCH_FORMAT.md)."),
+		pushLatency:    reg.Histogram("wsync_push_latency_seconds", "POST /v1/push handling latency.", obs.DefTimeBuckets),
+		inflight:       reg.GaugeVec("wsync_worker_inflight", "Experiments currently leased, per worker.", "worker"),
+		subscribers:    reg.Gauge("wsync_event_subscribers", "Open SSE event streams."),
+	}
 }
 
 // pendingPoint is one experiment awaiting assignment. notBefore
@@ -77,6 +140,12 @@ type job struct {
 	state  string
 	errMsg string
 	report *shard.Report
+
+	// events is the append-only transition log served by
+	// GET /v1/jobs/{id}/events; notify is closed and replaced on every
+	// append, waking blocked streams (SSE and long-poll alike).
+	events []JobEvent
+	notify chan struct{}
 }
 
 // Server is the wsyncd control plane. All state lives in memory behind
@@ -84,6 +153,8 @@ type job struct {
 // timescales, not a hot path.
 type Server struct {
 	opts Options
+	log  *slog.Logger
+	met  serverMetrics
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -94,19 +165,25 @@ type Server struct {
 	workers map[string]time.Time   // worker name -> last heartbeat
 	leases  []*lease
 
-	done    chan struct{}
-	sweeper sync.WaitGroup
+	draining atomic.Bool
+	drainCh  chan struct{}
+	done     chan struct{}
+	sweeper  sync.WaitGroup
 }
 
 // NewServer builds a server and starts its expiry sweeper. Call Close
 // to stop it.
 func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts.withDefaults(),
+		opts:    opts,
+		log:     opts.Log,
+		met:     newServerMetrics(opts.Metrics),
 		jobs:    make(map[string]*job),
 		cache:   make(map[string]shard.Entry),
 		costs:   make(map[string]int64),
 		workers: make(map[string]time.Time),
+		drainCh: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
 	tick := s.opts.HeartbeatTimeout / 4
@@ -133,29 +210,51 @@ func NewServer(opts Options) *Server {
 	return s
 }
 
-// Close stops the expiry sweeper. In-memory state stays readable.
+// Close stops the expiry sweeper and ends open event streams.
+// In-memory state stays readable.
 func (s *Server) Close() {
 	close(s.done)
 	s.sweeper.Wait()
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
+// Metrics returns the registry holding the server's wsync_* metrics,
+// for mounting on additional endpoints (the -debug-addr mux).
+func (s *Server) Metrics() *obs.Registry { return s.opts.Metrics }
+
+// BeginDrain marks the server as draining: GET /v1/healthz starts
+// answering 503 so load balancers and smoke scripts can tell "finishing"
+// from "down", and open event streams are ended so an
+// http.Server.Shutdown can complete. Job state is untouched — workers
+// may keep pushing until the listener closes.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+		s.log.Info("draining: healthz now 503, event streams closing")
 	}
 }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/poll", s.handlePoll)
 	mux.HandleFunc("POST /v1/push", s.handlePush)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.opts.Metrics.Handler())
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: HealthDraining})
+		return
+	}
+	writeJSON(w, http.StatusOK, Health{Status: HealthOK})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -170,6 +269,24 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+// emit appends one event to the job's transition log and wakes every
+// blocked stream. Callers hold s.mu.
+func (s *Server) emit(j *job, kind string) {
+	j.events = append(j.events, JobEvent{
+		Seq:     len(j.events) + 1,
+		Kind:    kind,
+		JobID:   j.id,
+		State:   j.state,
+		Done:    len(j.entries),
+		Total:   len(j.selection),
+		Cached:  j.cached,
+		Retries: j.retries,
+		Error:   j.errMsg,
+	})
+	close(j.notify)
+	j.notify = make(chan struct{})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -211,6 +328,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		attempts:  make(map[string]int, len(selection)),
 		entries:   make(map[string]shard.Entry, len(selection)),
 		state:     StateRunning,
+		notify:    make(chan struct{}),
 	}
 	// Seed from the content-addressed cache before anything reaches a
 	// worker: a hit is a finished experiment, whatever job computed it.
@@ -226,10 +344,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.met.jobsSubmitted.Inc()
+	s.met.jobsRunning.Inc()
+	s.met.cacheHits.Add(uint64(j.cached))
+	s.met.cacheMisses.Add(uint64(len(selection) - j.cached))
+	s.emit(j, EventSubmitted)
 	if len(j.entries) == len(j.selection) {
 		s.finalize(j)
 	}
-	s.logf("svc: job %s submitted: %d experiments, %d from cache", j.id, len(selection), j.cached)
+	s.log.Info("job submitted", "job", j.id, "experiments", len(selection), "cached", j.cached)
 	writeJSON(w, http.StatusOK, SubmitResponse{JobID: j.id, Total: len(selection), Cached: j.cached})
 }
 
@@ -309,7 +432,9 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 			ids:      chunk,
 			deadline: now.Add(s.opts.HeartbeatTimeout),
 		})
-		s.logf("svc: job %s: assigned %v to worker %s", j.id, chunk, req.Worker)
+		s.met.leasesGranted.Inc()
+		s.updateInflight(req.Worker)
+		s.log.Info("lease granted", "job", j.id, "worker", req.Worker, "ids", chunk)
 		writeJSON(w, http.StatusOK, PollResponse{Assignment: &Assignment{
 			JobID:  j.id,
 			IDs:    chunk,
@@ -324,6 +449,10 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		s.met.pushLatency.Observe(time.Since(start).Seconds())
+	}()
 	var req PushRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -339,6 +468,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no such job", http.StatusNotFound)
 		return
 	}
+	folded := 0
 	for _, e := range req.Entries {
 		if e.Table == nil {
 			s.fail(j, fmt.Sprintf("worker %s pushed an entry without a table", req.Worker))
@@ -352,6 +482,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 				s.fail(j, fmt.Sprintf("experiment %s: %v", id, err))
 				break
 			} else if !same {
+				s.met.cacheConflicts.Inc()
 				s.fail(j, fmt.Sprintf("experiment %s: conflicting results from workers (determinism violation)", id))
 				break
 			}
@@ -366,14 +497,158 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 			cost = 1
 		}
 		s.costs[id] = cost
+		s.met.entriesPushed.Inc()
+		s.met.nodeRounds.Add(e.NodeRounds)
+		folded++
 		s.releaseLeased(req.Worker, j.id, id)
+	}
+	if req.Worker != "" {
+		s.updateInflight(req.Worker)
 	}
 	if j.state == StateRunning && len(j.entries) == len(j.selection) {
 		s.finalize(j)
+	} else if folded > 0 && j.state == StateRunning {
+		s.emit(j, EventProgress)
 	}
-	s.logf("svc: job %s: worker %s pushed %d entries (%d/%d done, state %s)",
-		j.id, req.Worker, len(req.Entries), len(j.entries), len(j.selection), j.state)
+	s.log.Info("entries pushed", "job", j.id, "worker", req.Worker,
+		"entries", len(req.Entries), "done", len(j.entries), "total", len(j.selection), "state", j.state)
 	writeJSON(w, http.StatusOK, PushResponse{State: j.state})
+}
+
+// handleEvents serves the job's transition log: Server-Sent Events when
+// the client asks for text/event-stream (and the connection can flush),
+// a long-poll JSON round otherwise. The ?after=N cursor (last seen
+// sequence number) makes both forms resumable; docs/OBSERVABILITY.md
+// specifies the wire format.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "after must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if wantsSSE(r) && canFlush {
+		s.serveSSE(w, r, flusher, id, after)
+		return
+	}
+	s.serveLongPoll(w, r, id, after)
+}
+
+func wantsSSE(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		if strings.Contains(accept, "text/event-stream") {
+			return true
+		}
+	}
+	return false
+}
+
+// jobEvents snapshots the events after the cursor plus the current
+// notify channel and terminal flag.
+func (s *Server) jobEvents(id string, after int) (evs []JobEvent, notify <-chan struct{}, terminal, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, found := s.jobs[id]
+	if !found {
+		return nil, nil, false, false
+	}
+	if after < len(j.events) {
+		evs = append(evs, j.events[after:]...)
+	}
+	return evs, j.notify, j.state != StateRunning, true
+}
+
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, flusher http.Flusher, id string, after int) {
+	evs, notify, terminal, ok := s.jobEvents(id, after)
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	s.met.subscribers.Inc()
+	defer s.met.subscribers.Dec()
+	for {
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			// "id:" carries the cursor for Last-Event-ID-style resumption;
+			// "event:" names the transition kind for addEventListener use.
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+				return
+			}
+			after = ev.Seq
+		}
+		flusher.Flush()
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		case <-s.done:
+			return
+		case <-notify:
+		}
+		evs, notify, terminal, ok = s.jobEvents(id, after)
+		if !ok {
+			return
+		}
+	}
+}
+
+// longPollMaxWait caps the server-side block of a long-poll round.
+const longPollMaxWait = time.Minute
+
+func (s *Server) serveLongPoll(w http.ResponseWriter, r *http.Request, id string, after int) {
+	wait := 25 * time.Second
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			http.Error(w, "wait must be a non-negative duration", http.StatusBadRequest)
+			return
+		}
+		wait = d
+	}
+	if wait > longPollMaxWait {
+		wait = longPollMaxWait
+	}
+	evs, notify, terminal, ok := s.jobEvents(id, after)
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if len(evs) == 0 && !terminal && wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+		case <-s.done:
+		case <-t.C:
+		case <-notify:
+		}
+		evs, _, _, ok = s.jobEvents(id, after)
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+	}
+	if evs == nil {
+		evs = []JobEvent{}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Events: evs})
 }
 
 // heartbeat records a sign of life from the worker and extends its
@@ -381,6 +656,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 // alive, so an in-flight assignment only needs each single experiment —
 // pushed incrementally — to land within the heartbeat window.
 func (s *Server) heartbeat(worker string, now time.Time) {
+	s.met.heartbeats.Inc()
 	s.workers[worker] = now
 	for _, l := range s.leases {
 		if l.worker == worker {
@@ -402,6 +678,18 @@ func (s *Server) liveWorkers(now time.Time) int {
 		live = 1
 	}
 	return live
+}
+
+// updateInflight recomputes the per-worker in-flight gauge from the
+// lease table. Callers hold s.mu.
+func (s *Server) updateInflight(worker string) {
+	n := 0
+	for _, l := range s.leases {
+		if l.worker == worker {
+			n += len(l.ids)
+		}
+	}
+	s.met.inflight.With(worker).Set(int64(n))
 }
 
 // releaseLeased removes one completed id from the worker's lease on the
@@ -438,10 +726,12 @@ func (s *Server) expire(now time.Time) {
 			kept = append(kept, l)
 			continue
 		}
+		s.met.inflight.With(l.worker).Set(0)
 		j := s.jobs[l.jobID]
 		if j == nil || j.state != StateRunning {
 			continue
 		}
+		replanned := false
 		for _, id := range l.ids {
 			if _, done := j.entries[id]; done {
 				continue
@@ -455,8 +745,14 @@ func (s *Server) expire(now time.Time) {
 			backoff := s.opts.RetryBase << (j.attempts[id] - 1)
 			j.pending = append(j.pending, pendingPoint{id: id, notBefore: now.Add(backoff)})
 			j.retries++
-			s.logf("svc: job %s: worker %s presumed dead; re-planning %s (attempt %d, backoff %v)",
-				j.id, l.worker, id, j.attempts[id], backoff)
+			replanned = true
+			s.met.replans.Inc()
+			s.log.Warn("worker presumed dead; experiment re-planned",
+				"job", j.id, "worker", l.worker, "experiment", id,
+				"attempt", j.attempts[id], "backoff", backoff)
+		}
+		if replanned && j.state == StateRunning {
+			s.emit(j, EventReplan)
 		}
 	}
 	s.leases = kept
@@ -485,8 +781,11 @@ func (s *Server) finalize(j *job) {
 	}
 	j.report = merged
 	j.state = StateDone
-	s.logf("svc: job %s done (%d experiments, %d cached, %d retries)",
-		j.id, len(j.selection), j.cached, j.retries)
+	s.met.jobsCompleted.Inc()
+	s.met.jobsRunning.Dec()
+	s.emit(j, EventDone)
+	s.log.Info("job done", "job", j.id,
+		"experiments", len(j.selection), "cached", j.cached, "retries", j.retries)
 }
 
 func (s *Server) fail(j *job, msg string) {
@@ -495,7 +794,10 @@ func (s *Server) fail(j *job, msg string) {
 	}
 	j.state = StateFailed
 	j.errMsg = msg
-	s.logf("svc: job %s failed: %s", j.id, msg)
+	s.met.jobsFailed.Inc()
+	s.met.jobsRunning.Dec()
+	s.emit(j, EventFailed)
+	s.log.Error("job failed", "job", j.id, "error", msg)
 }
 
 // entriesEqual compares two entries on their deterministic fields —

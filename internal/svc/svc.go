@@ -29,13 +29,20 @@
 //
 // The wire protocol (all request and response bodies are JSON) is:
 //
-//	POST /v1/jobs            SubmitRequest  -> SubmitResponse
-//	GET  /v1/jobs/{id}                      -> JobStatus
-//	POST /v1/poll            PollRequest    -> PollResponse
-//	POST /v1/push            PushRequest    -> PushResponse
-//	GET  /v1/healthz                        -> 200 "ok"
+//	POST /v1/jobs                SubmitRequest  -> SubmitResponse
+//	GET  /v1/jobs/{id}                          -> JobStatus
+//	GET  /v1/jobs/{id}/events                   -> SSE stream or EventsResponse
+//	POST /v1/poll                PollRequest    -> PollResponse
+//	POST /v1/push                PushRequest    -> PushResponse
+//	GET  /v1/healthz                            -> Health (503 while draining)
+//	GET  /metrics                               -> Prometheus text exposition
 //
-// docs/BENCH_FORMAT.md ("The wsyncd job service") is the spec.
+// The events endpoint streams job-state transitions: Server-Sent Events
+// when the client sends Accept: text/event-stream, a long-poll JSON
+// round otherwise, both resumable through the ?after=<seq> cursor.
+// docs/BENCH_FORMAT.md ("The wsyncd job service") is the job-protocol
+// spec; docs/OBSERVABILITY.md covers metrics, logs, and the event wire
+// format.
 package svc
 
 import "wsync/internal/shard"
@@ -119,4 +126,51 @@ type PushRequest struct {
 // so a worker learns immediately when its job finished or failed.
 type PushResponse struct {
 	State string `json:"state"`
+}
+
+// Event kinds carried by JobEvent.Kind, in the order a healthy job
+// emits them: submitted, zero or more progress/replan, then exactly one
+// of done or failed.
+const (
+	EventSubmitted = "submitted"
+	EventProgress  = "progress"
+	EventReplan    = "replan"
+	EventDone      = "done"
+	EventFailed    = "failed"
+)
+
+// JobEvent is one entry in a job's transition log, served by
+// GET /v1/jobs/{id}/events. Seq is 1-based and strictly increasing per
+// job; passing the last seen Seq as ?after resumes the stream without
+// duplicates. Events deliberately omit the report — at a terminal event
+// the client fetches it once via GET /v1/jobs/{id}.
+type JobEvent struct {
+	Seq     int    `json:"seq"`
+	Kind    string `json:"kind"`
+	JobID   string `json:"job_id"`
+	State   string `json:"state"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+	Cached  int    `json:"cached"`
+	Retries int    `json:"retries"`
+	Error   string `json:"error,omitempty"`
+}
+
+// EventsResponse is the long-poll form of the events endpoint: all
+// events after the cursor, possibly empty if the wait elapsed first.
+type EventsResponse struct {
+	Events []JobEvent `json:"events"`
+}
+
+// Health statuses reported by GET /v1/healthz.
+const (
+	HealthOK       = "ok"
+	HealthDraining = "draining"
+)
+
+// Health is the healthz body. Status "draining" rides a 503 so plain
+// HTTP health checks fail the instance while the body tells humans (and
+// the daemon-smoke script) that it is finishing, not crashed.
+type Health struct {
+	Status string `json:"status"`
 }

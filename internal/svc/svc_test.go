@@ -3,6 +3,7 @@ package svc_test
 import (
 	"bytes"
 	"context"
+	"log/slog"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +14,19 @@ import (
 
 	"net/http/httptest"
 )
+
+// testLogger adapts t.Logf into a slog.Logger so service logs land in
+// the test output.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, nil))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // startServer builds a Server plus its httptest front end and returns a
 // client. Cleanup stops both.
@@ -41,7 +55,7 @@ func startWorker(t *testing.T, client *svc.Client, name string) (stop func()) {
 			Name:         name,
 			PollInterval: 10 * time.Millisecond,
 			Parallelism:  1,
-			Logf:         t.Logf,
+			Log:          testLogger(t),
 		})
 	}()
 	var once bool
@@ -214,7 +228,7 @@ func TestKilledWorkerReplan(t *testing.T) {
 		HeartbeatTimeout: time.Second,
 		RetryBase:        time.Millisecond,
 		MaxAttempts:      5,
-		Logf:             t.Logf,
+		Log:              testLogger(t),
 	})
 
 	sub, err := client.Submit(req)

@@ -3,10 +3,12 @@ package svc
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"wsync/internal/harness"
 	"wsync/internal/multihop"
+	"wsync/internal/obs"
 	"wsync/internal/rendezvous"
 	"wsync/internal/shard"
 	"wsync/internal/sim"
@@ -19,13 +21,49 @@ type WorkerOptions struct {
 	// Name identifies this worker to the server; it must be unique among
 	// concurrently polling workers (the failure detector is per name).
 	Name string
-	// PollInterval is the idle sleep between polls. Default 500ms.
+	// PollInterval seeds the idle backoff: the first empty poll sleeps
+	// about this long and consecutive empty polls double it (with
+	// jitter) up to MaxPollInterval. Default 500ms.
 	PollInterval time.Duration
+	// MaxPollInterval caps the idle backoff. Default 16×PollInterval.
+	MaxPollInterval time.Duration
 	// Parallelism is the trial-runner worker count passed to the harness
 	// (0 = one per CPU). Results are bit-identical at any setting.
 	Parallelism int
-	// Logf, if non-nil, receives one line per assignment and push.
-	Logf func(format string, args ...any)
+	// Log receives one record per assignment, push, and error, each
+	// carrying worker/job attributes. Nil discards them.
+	Log *slog.Logger
+	// Metrics is the registry for the wsync_worker_* metrics; nil means
+	// a private registry (counted but unexposed).
+	Metrics *obs.Registry
+}
+
+// workerMetrics is the wsync_worker_* metric set; docs/OBSERVABILITY.md
+// is the catalogue.
+type workerMetrics struct {
+	polls       *obs.Counter
+	pollErrors  *obs.Counter
+	assignments *obs.Counter
+	experiments *obs.Counter
+	expFailures *obs.Counter
+	pushErrors  *obs.Counter
+	nodeRounds  *obs.Counter
+	expSeconds  *obs.Histogram
+	busy        *obs.Gauge
+}
+
+func newWorkerMetrics(reg *obs.Registry) workerMetrics {
+	return workerMetrics{
+		polls:       reg.Counter("wsync_worker_polls_total", "Poll requests sent to the server."),
+		pollErrors:  reg.Counter("wsync_worker_poll_errors_total", "Poll requests that failed in transport."),
+		assignments: reg.Counter("wsync_worker_assignments_total", "Assignments received."),
+		experiments: reg.Counter("wsync_worker_experiments_total", "Experiments run to completion."),
+		expFailures: reg.Counter("wsync_worker_experiment_failures_total", "Experiments whose Run returned an error."),
+		pushErrors:  reg.Counter("wsync_worker_push_errors_total", "Entry pushes that failed in transport."),
+		nodeRounds:  reg.Counter("wsync_worker_node_rounds_total", "Engine node-rounds executed, sampled as deltas of the process-global atomic counters (docs/BENCH_FORMAT.md)."),
+		expSeconds:  reg.Histogram("wsync_worker_experiment_seconds", "Wall time per experiment.", obs.DefTimeBuckets),
+		busy:        reg.Gauge("wsync_worker_busy", "1 while running an assignment, 0 while idle."),
+	}
 }
 
 // nodeRoundsTotal sums the per-engine node-round counters, mirroring
@@ -41,6 +79,9 @@ func nodeRoundsTotal() uint64 {
 // returns nil) or an assignment names an experiment this binary does
 // not know (a version skew error worth dying loudly for). Transport
 // errors are logged and retried — a worker outlives server restarts.
+// Idle and error sleeps use jittered exponential backoff, reset the
+// moment an assignment arrives, so an idle fleet spreads its polls
+// instead of thundering in lockstep.
 func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	if opts.Name == "" {
 		return fmt.Errorf("svc: worker name required")
@@ -49,14 +90,25 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	maxInterval := opts.MaxPollInterval
+	if maxInterval <= 0 {
+		maxInterval = 16 * interval
 	}
+	log := opts.Log
+	if log == nil {
+		log = discardLogger()
+	}
+	log = log.With("worker", opts.Name)
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := newWorkerMetrics(reg)
 	client := &Client{Base: opts.Server}
+	backoff := Backoff{Base: interval, Max: maxInterval}
 
 	sleep := func() bool {
-		t := time.NewTimer(interval)
+		t := time.NewTimer(backoff.Next())
 		defer t.Stop()
 		select {
 		case <-ctx.Done():
@@ -70,9 +122,11 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		if ctx.Err() != nil {
 			return nil
 		}
+		met.polls.Inc()
 		a, err := client.Poll(opts.Name)
 		if err != nil {
-			logf("svc: worker %s: poll: %v", opts.Name, err)
+			met.pollErrors.Inc()
+			log.Warn("poll failed", "error", err)
 			if !sleep() {
 				return nil
 			}
@@ -84,7 +138,10 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 			}
 			continue
 		}
-		logf("svc: worker %s: job %s: running %v", opts.Name, a.JobID, a.IDs)
+		backoff.Reset()
+		met.assignments.Inc()
+		met.busy.Set(1)
+		log.Info("assignment received", "job", a.JobID, "ids", a.IDs)
 		opt := harness.Options{
 			Trials:      a.Trials,
 			Seed:        a.Seed,
@@ -94,10 +151,12 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 		}
 		for _, id := range a.IDs {
 			if ctx.Err() != nil {
+				met.busy.Set(0)
 				return nil
 			}
 			e, ok := harness.ByID(id)
 			if !ok {
+				met.busy.Set(0)
 				return fmt.Errorf("svc: worker %s assigned unknown experiment %q (server/worker version skew?)", opts.Name, id)
 			}
 			nrBefore := nodeRoundsTotal()
@@ -109,11 +168,15 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 				// operator. Log and skip the push for this id — the server's
 				// attempt bound turns persistent failure into a failed job
 				// with a diagnostic.
-				logf("svc: worker %s: job %s: %s: %v", opts.Name, a.JobID, id, err)
+				met.expFailures.Inc()
+				log.Error("experiment failed", "job", a.JobID, "experiment", id, "error", err)
 				continue
 			}
 			elapsed := time.Since(start)
 			nodeRounds := nodeRoundsTotal() - nrBefore
+			met.experiments.Inc()
+			met.nodeRounds.Add(nodeRounds)
+			met.expSeconds.Observe(elapsed.Seconds())
 			var nrPerSec float64
 			if s := elapsed.Seconds(); s > 0 {
 				nrPerSec = float64(nodeRounds) / s
@@ -130,10 +193,12 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 				NodeRoundsPerSec: nrPerSec,
 			}})
 			if err != nil {
-				logf("svc: worker %s: push %s: %v", opts.Name, id, err)
+				met.pushErrors.Inc()
+				log.Warn("push failed", "job", a.JobID, "experiment", id, "error", err)
 				continue
 			}
-			logf("svc: worker %s: job %s: pushed %s (job %s)", opts.Name, a.JobID, id, state)
+			log.Info("entry pushed", "job", a.JobID, "experiment", id, "job_state", state)
 		}
+		met.busy.Set(0)
 	}
 }

@@ -9,4 +9,9 @@
 // .5 = listened on frequency 5 and heard nothing, x3 = transmitted into a
 // collision, ~ = inactive. A trailing * marks the round in which the node
 // first output a round number.
+//
+// Both engines feed it: attach the Recorder through sim.Config.Observers
+// for single-hop runs or multihop.Config.Observers for multi-hop ones —
+// including churned topologies, where the timeline shows deliveries
+// coming and going as edges flip.
 package trace

@@ -5,8 +5,12 @@ import (
 	"strings"
 	"testing"
 
+	"wsync/internal/churn"
 	"wsync/internal/freqset"
+	"wsync/internal/multihop"
+	"wsync/internal/rng"
 	"wsync/internal/sim"
+	"wsync/internal/trapdoor"
 )
 
 func record(round uint64, disrupted []int, actions []sim.ActionRecord,
@@ -111,6 +115,58 @@ func TestFirstSyncMarkerOnlyOnce(t *testing.T) {
 	if got := strings.Count(buf.String(), "*"); got != 2 {
 		// One in the legend, one in round 2's cell.
 		t.Fatalf("marker count = %d, want 2:\n%s", got, buf.String())
+	}
+}
+
+// TestRecorderOnMultihopChurnedRun pins the multihop observer hook: a
+// Recorder attached via multihop.Config.Observers sees every round of a
+// churned-topology run and renders the same timeline on every execution
+// of the same config — the determinism contract extended to the
+// debugging view.
+func TestRecorderOnMultihopChurnedRun(t *testing.T) {
+	const nodes = 9
+	run := func() (string, *multihop.Result, *Recorder) {
+		t.Helper()
+		p := trapdoor.Params{N: 16, F: 4, T: 0}
+		base := multihop.Grid(3, 3)
+		rec := NewRecorder(12)
+		res, err := multihop.Run(&multihop.Config{
+			F:        p.F,
+			Seed:     11,
+			Topology: base,
+			NewAgent: func(id sim.NodeID, activation uint64, r *rng.Rand) sim.Agent {
+				return multihop.MustNewRelay(p, r)
+			},
+			Churn:     churn.NewFlip(base, 0.2, 13),
+			MaxRounds: 4000,
+			Observers: []sim.Observer{rec},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.Render(&buf, nodes); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), res, rec
+	}
+
+	out1, res1, rec1 := run()
+	out2, res2, _ := run()
+	if out1 != out2 {
+		t.Errorf("two identical churned runs rendered different timelines:\n--- first ---\n%s--- second ---\n%s", out1, out2)
+	}
+	if res1.Rounds != res2.Rounds || res1.ChurnEdges != res2.ChurnEdges {
+		t.Errorf("results differ across identical runs: %+v vs %+v", res1, res2)
+	}
+	if res1.ChurnRounds == 0 {
+		t.Error("the run never churned; the test exercises nothing")
+	}
+	if rec1.Total() != int(res1.Rounds) {
+		t.Errorf("recorder saw %d rounds, run had %d", rec1.Total(), res1.Rounds)
+	}
+	if !strings.Contains(out1, "n8") {
+		t.Errorf("timeline missing the last node column:\n%s", out1)
 	}
 }
 
